@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesBothCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "student", "-rows", "50", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"student_train.csv", "student_relevant.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "session_id") {
+			t.Fatalf("%s missing header", name)
+		}
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "all", "-rows", "30", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 12 { // 6 datasets × 2 files
+		t.Fatalf("files = %d, want 12", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

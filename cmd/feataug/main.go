@@ -1,0 +1,200 @@
+// Command feataug regenerates the paper's tables and figures on the
+// synthetic datasets and runs the FeatAug pipeline on any built-in dataset.
+//
+// Usage:
+//
+//	feataug -exp table3 -rows 400 -reps 1
+//	feataug -exp all -out report.txt
+//	feataug -exp fig7 -models LR,XGB
+//	feataug -exp table3 -paper          # paper-scale budgets (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/results"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "feataug:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("feataug", flag.ContinueOnError)
+	var (
+		exp       = fs.String("exp", "table3", "experiment: table1|table2|table3|table6|table7|table8|fig5|fig6|fig7|fig8|fig9|all")
+		rows      = fs.Int("rows", 400, "training rows per generated dataset")
+		logs      = fs.Int("logs", 8, "mean relevant rows per training key")
+		reps      = fs.Int("reps", 1, "repetitions to average (paper: 5)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		features  = fs.Int("features", 8, "features per method (paper: 40)")
+		models    = fs.String("models", "", "comma-separated model subset: LR,XGB,RF,DeepFM (default all)")
+		datasets  = fs.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
+		outPath   = fs.String("out", "", "write the report to a file instead of stdout")
+		paper     = fs.Bool("paper", false, "use paper-scale search budgets (much slower)")
+		allFuncs  = fs.Bool("allfuncs", false, "use the full 15-function aggregation set (default: 5 basic)")
+		warmup    = fs.Int("warmup", 0, "warm-up TPE iterations (0 = default; paper: 200)")
+		gen       = fs.Int("gen", 0, "generation TPE iterations (0 = default; paper: 40)")
+		templates = fs.Int("templates", 0, "query templates n (0 = default; paper: 8)")
+		queries   = fs.Int("queries", 0, "queries per template (0 = default; paper: 5)")
+		jsonDir   = fs.String("json", "", "also archive each experiment's cells as JSON in this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg := experiments.Config{
+		TrainRows:   *rows,
+		LogsPerKey:  *logs,
+		Reps:        *reps,
+		Seed:        *seed,
+		NumFeatures: *features,
+		Out:         out,
+	}
+	if *allFuncs {
+		cfg.Funcs = agg.All()
+	}
+	cfg.WarmupIters = *warmup
+	cfg.GenIters = *gen
+	cfg.NumTemplates = *templates
+	cfg.QueriesPerTemplate = *queries
+	if *paper {
+		cfg.WarmupIters = 200
+		cfg.WarmupTopK = 50
+		cfg.GenIters = 40
+		cfg.NumTemplates = 8
+		cfg.QueriesPerTemplate = 5
+		cfg.MaxDepth = 4
+		cfg.Reps = 5
+		cfg.Funcs = agg.All()
+	}
+	if *models != "" {
+		kinds, err := parseModels(*models)
+		if err != nil {
+			return err
+		}
+		cfg.Models = kinds
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "table3", "table6", "table7", "table8",
+			"fig5", "fig6", "fig7", "fig8", "fig9"}
+	}
+	for _, name := range names {
+		cells, err := runOne(name, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *jsonDir != "" && cells != nil {
+			if err := archiveRun(*jsonDir, name, cfg, cells); err != nil {
+				return fmt.Errorf("%s: archive: %w", name, err)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runOne executes one experiment; cell-style experiments return their cells
+// for archiving, figure sweeps return nil.
+func runOne(name string, cfg experiments.Config) ([]experiments.Cell, error) {
+	switch name {
+	case "table1":
+		return experiments.RunTable1(cfg)
+	case "table2":
+		return experiments.RunTable2(cfg)
+	case "table3":
+		return experiments.RunTable3(cfg)
+	case "table6":
+		return experiments.RunTable6(cfg)
+	case "table7":
+		return experiments.RunTable7(cfg)
+	case "table8":
+		return experiments.RunTable8(cfg)
+	case "fig5":
+		_, err := experiments.RunFig5(cfg)
+		return nil, err
+	case "fig6":
+		_, err := experiments.RunFig6(cfg)
+		return nil, err
+	case "fig7":
+		_, err := experiments.RunFig7(cfg)
+		return nil, err
+	case "fig8":
+		_, err := experiments.RunFig8(cfg)
+		return nil, err
+	case "fig9":
+		_, err := experiments.RunFig9(cfg)
+		return nil, err
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+// archiveRun writes an experiment's cells as an indented-JSON results file.
+func archiveRun(dir, name string, cfg experiments.Config, cells []experiments.Cell) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	run := results.NewRun(name, map[string]interface{}{
+		"train_rows": cfg.TrainRows,
+		"reps":       cfg.Reps,
+		"seed":       cfg.Seed,
+		"features":   cfg.NumFeatures,
+	})
+	for _, r := range experiments.ToResultRows(cells) {
+		run.Add(results.Row{
+			Dataset: r.Dataset, Model: r.Model, Method: r.Method,
+			Metric: r.Metric, Seconds: r.Seconds,
+		})
+	}
+	f, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return run.WriteJSON(f)
+}
+
+func parseModels(s string) ([]ml.Kind, error) {
+	var out []ml.Kind
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToUpper(part)) {
+		case "LR":
+			out = append(out, ml.KindLR)
+		case "XGB":
+			out = append(out, ml.KindXGB)
+		case "RF":
+			out = append(out, ml.KindRF)
+		case "DEEPFM":
+			out = append(out, ml.KindDeepFM)
+		default:
+			return nil, fmt.Errorf("unknown model %q", part)
+		}
+	}
+	return out, nil
+}

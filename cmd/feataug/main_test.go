@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1ToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table1", "-rows", "100"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tmall") {
+		t.Fatalf("output missing dataset rows: %s", buf.String())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.txt")
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table2", "-rows", "100", "-out", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "#T=2^attr") {
+		t.Fatal("file missing report")
+	}
+}
+
+func TestRunModelAndDatasetFilters(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table1", "-rows", "100",
+		"-models", "LR,XGB", "-datasets", "tmall,student"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tmall") || strings.Contains(out, "merchant") {
+		t.Fatalf("dataset filter ignored: %s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-models", "NOPE"}, &buf); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+	if err := run([]string{"-exp", "table1", "-out", "/nonexistent/dir/x.txt"}, &buf); err == nil {
+		t.Error("unwritable output should fail")
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	kinds, err := parseModels("lr, xgb ,RF,deepfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if _, err := parseModels("ghost"); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+}
+
+func TestRunFigureExperimentAndJSONArchive(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table7", "-rows", "120", "-models", "LR",
+		"-datasets", "student", "-warmup", "6", "-gen", "2",
+		"-templates", "1", "-queries", "1", "-json", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table7.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "FeatAug(Full)") {
+		t.Fatalf("archive missing rows: %s", data)
+	}
+}
+
+func TestRunEachFigure(t *testing.T) {
+	var buf bytes.Buffer
+	common := []string{"-rows", "120", "-models", "LR", "-warmup", "5",
+		"-gen", "2", "-templates", "1", "-queries", "1"}
+	for _, exp := range []string{"fig5", "fig6", "fig7", "fig8", "fig9"} {
+		args := append([]string{"-exp", exp}, common...)
+		if exp == "fig5" || exp == "fig6" {
+			args = append(args, "-datasets", "student")
+		}
+		if exp == "fig8" || exp == "fig9" {
+			args = append(args, "-datasets", "merchant")
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunTPEStrategy(t *testing.T) {
+	err := run([]string{"-dataset", "student", "-model", "LR", "-rows", "150",
+		"-templates", "1", "-queries", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHalvingStrategy(t *testing.T) {
+	err := run([]string{"-dataset", "merchant", "-model", "XGB", "-rows", "150",
+		"-templates", "1", "-queries", "1", "-strategy", "halving"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllFuncs(t *testing.T) {
+	err := run([]string{"-dataset", "student", "-model", "RF", "-rows", "120",
+		"-templates", "1", "-queries", "1", "-allfuncs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-model", "NOPE"}); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if err := run([]string{"-strategy", "nope", "-rows", "120", "-templates", "1", "-queries", "1"}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole library through the public API only:
+// generate a dataset, run FeatAug, compare against Featuretools.
+func TestFacadeEndToEnd(t *testing.T) {
+	d, err := GenerateDataset("tmall", 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	p.PredAttrs = p.PredAttrs[:3]
+
+	res, err := Augment(p, ModelLR, BasicAggFuncs(), Config{
+		Seed: 5, WarmupIters: 10, WarmupTopK: 3, GenIters: 3,
+		NumTemplates: 2, QueriesPerTemplate: 1, MaxDepth: 2,
+		TemplateProxyIters: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) == 0 || res.Augmented == nil {
+		t.Fatal("empty result")
+	}
+
+	ft := Featuretools(p, BasicAggFuncs())
+	if len(ft) == 0 {
+		t.Fatal("no featuretools queries")
+	}
+
+	ev, err := NewEvaluator(p, ModelLR, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, test, err := ev.QuerySetScores(res.QueryList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid <= 0 || test <= 0 {
+		t.Fatal("scores missing")
+	}
+}
+
+func TestFacadeUnknownDataset(t *testing.T) {
+	if _, err := GenerateDataset("nope", 100, 1); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestFacadeEnumerations(t *testing.T) {
+	if len(AllAggFuncs()) != 15 || len(BasicAggFuncs()) != 5 {
+		t.Fatal("aggregation sets wrong")
+	}
+	if TaskBinary.String() != "binary" || ModelXGB.String() != "XGB" || ProxyMI.String() != "MI" {
+		t.Fatal("re-exported enums wrong")
+	}
+}
+
+func TestFacadeEngineDirect(t *testing.T) {
+	d, err := GenerateDataset("student", 200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	p.PredAttrs = p.PredAttrs[:2]
+	ev, err := NewEvaluator(p, ModelLR, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(ev, BasicAggFuncs(), Config{
+		Seed: 6, WarmupIters: 8, WarmupTopK: 3, GenIters: 3,
+		NumTemplates: 1, QueriesPerTemplate: 1, MaxDepth: 1, TemplateProxyIters: 4,
+	})
+	tpls, err := engine.IdentifyTemplates(p.PredAttrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpls) == 0 {
+		t.Fatal("no templates identified")
+	}
+	qs, err := engine.GenerateQueries(engine.Template(tpls[0].PredAttrs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+}
+
+func TestFacadeSchemaAndMulti(t *testing.T) {
+	s := NewSchema()
+	d, err := GenerateDataset("instacart", 150, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable("users", d.Train); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable("orders", d.Relevant); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelationship(Relationship{
+		From: "users", To: "orders",
+		FromKeys: []string{"user_id"}, ToKeys: []string{"user_id"},
+		Card: OneToMany,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rels, err := s.Flatten("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 1 {
+		t.Fatalf("relevant tables = %d", len(rels))
+	}
+	base := DatasetProblem(d)
+	res, err := AugmentMulti(base, ModelLR, Config{
+		Seed: 8, WarmupIters: 6, WarmupTopK: 2, GenIters: 2,
+		NumTemplates: 1, QueriesPerTemplate: 1, MaxDepth: 1, TemplateProxyIters: 3,
+	}, []RelevantInput{{
+		Name: "orders", Table: rels[0].Table, Keys: rels[0].Keys,
+		AggAttrs: []string{"add_to_cart_order"}, PredAttrs: []string{"department"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FeatureNames) == 0 {
+		t.Fatal("no features")
+	}
+}
+
+func TestFacadeParseSQL(t *testing.T) {
+	q, rel, err := ParseSQL(`SELECT k, SUM(x) FROM r WHERE a = "v" GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "r" || len(q.Preds) != 1 {
+		t.Fatalf("parsed %+v from %s", q, rel)
+	}
+	if _, _, err := ParseSQL("garbage"); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

@@ -1,0 +1,211 @@
+// Package repro is a from-scratch Go reproduction of "FeatAug: Automatic
+// Feature Augmentation From One-to-Many Relationship Tables" (Qi, Zheng,
+// Wang; ICDE 2024). It exposes the full system through type aliases onto the
+// internal implementation packages:
+//
+//   - a columnar dataframe engine (tables, group-by, joins, CSV I/O),
+//   - the 15 aggregation functions of the paper's query templates,
+//   - predicate-aware SQL query objects, templates, pools and an executor,
+//   - a TPE hyper-parameter optimiser with warm-starting,
+//   - LR / RF / XGBoost-style GBDT / DeepFM downstream models and metrics,
+//   - the FeatAug engine itself (SQL query generation + query template
+//     identification), every baseline the paper compares against, the
+//     synthetic dataset generators, and the experiment harness regenerating
+//     each table and figure of the evaluation.
+//
+// Quick start:
+//
+//	p := repro.Problem{Train: d, Relevant: r, Label: "label", Task: repro.TaskBinary,
+//	    Keys: []string{"cname"}, AggAttrs: []string{"pprice"},
+//	    PredAttrs: []string{"department", "timestamp"}, BaseFeatures: []string{"age"}}
+//	res, err := repro.Augment(p, repro.ModelXGB, nil, repro.Config{})
+//	// res.Augmented now carries the generated predicate-aware features.
+package repro
+
+import (
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/dataframe"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/feataug"
+	"repro/internal/hpo"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/relschema"
+)
+
+// Core dataframe types.
+type (
+	// Table is a columnar table with null bitmaps.
+	Table = dataframe.Table
+	// Column is one typed column of a Table.
+	Column = dataframe.Column
+)
+
+// Query machinery.
+type (
+	// Template is the paper's quadruple T = (F, A, P, K).
+	Template = query.Template
+	// Query is one predicate-aware SQL query.
+	Query = query.Query
+	// Predicate is one WHERE-clause conjunct.
+	Predicate = query.Predicate
+	// Space is the discrete search space of a template's query pool.
+	Space = query.Space
+)
+
+// FeatAug engine.
+type (
+	// Config tunes the FeatAug engine.
+	Config = feataug.Config
+	// Result is the outcome of a FeatAug run.
+	Result = feataug.Result
+	// Engine runs FeatAug against one problem/model pair.
+	Engine = feataug.Engine
+	// GeneratedQuery pairs a query with its validation loss.
+	GeneratedQuery = feataug.GeneratedQuery
+	// TemplateScore is an identified template with its effectiveness.
+	TemplateScore = feataug.TemplateScore
+)
+
+// Evaluation plumbing.
+type (
+	// Problem describes one dataset in template terms.
+	Problem = pipeline.Problem
+	// Evaluator runs the train/valid/test protocol for a problem.
+	Evaluator = pipeline.Evaluator
+	// ProxyKind selects the low-cost proxy (MI / SC / LR).
+	ProxyKind = pipeline.ProxyKind
+)
+
+// ML substrate.
+type (
+	// ModelKind identifies a downstream model family.
+	ModelKind = ml.Kind
+	// Task identifies the learning problem.
+	Task = ml.Task
+	// Model is the common learner interface.
+	Model = ml.Model
+)
+
+// AggFunc identifies one of the 15 aggregation functions.
+type AggFunc = agg.Func
+
+// ExperimentConfig scales a paper-table regeneration run.
+type ExperimentConfig = experiments.Config
+
+// Re-exported enumeration values.
+const (
+	TaskBinary     = ml.Binary
+	TaskMultiClass = ml.MultiClass
+	TaskRegression = ml.Regression
+
+	ModelLR     = ml.KindLR
+	ModelXGB    = ml.KindXGB
+	ModelRF     = ml.KindRF
+	ModelDeepFM = ml.KindDeepFM
+
+	ProxyMI = pipeline.ProxyMI
+	ProxySC = pipeline.ProxySC
+	ProxyLR = pipeline.ProxyLR
+)
+
+// AllAggFuncs returns the paper's 15-function aggregation set.
+func AllAggFuncs() []AggFunc { return agg.All() }
+
+// BasicAggFuncs returns the SUM/MIN/MAX/COUNT/AVG subset.
+func BasicAggFuncs() []AggFunc { return agg.Basic() }
+
+// NewEvaluator wires a problem to a downstream model under the paper's
+// 0.6/0.2/0.2 protocol.
+func NewEvaluator(p Problem, model ModelKind, seed int64) (*Evaluator, error) {
+	return pipeline.NewEvaluator(p, model, seed)
+}
+
+// NewEngine builds a FeatAug engine; funcs nil defaults to the full
+// 15-function set.
+func NewEngine(e *Evaluator, funcs []AggFunc, cfg Config) *Engine {
+	return feataug.NewEngine(e, funcs, cfg)
+}
+
+// Augment runs the complete FeatAug workflow (query template identification
+// followed by predicate-aware SQL query generation) and returns the
+// augmented training table plus the generated queries.
+func Augment(p Problem, model ModelKind, funcs []AggFunc, cfg Config) (*Result, error) {
+	e, err := pipeline.NewEvaluator(p, model, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return feataug.NewEngine(e, funcs, cfg).Run()
+}
+
+// Featuretools enumerates the predicate-free DFS query space, the baseline
+// the paper compares against.
+func Featuretools(p Problem, funcs []AggFunc) []Query {
+	return baselines.Featuretools(p, funcs)
+}
+
+// RandomQueries draws random templates and random queries from their pools —
+// the paper's Random baseline.
+func RandomQueries(p Problem, funcs []AggFunc, numTemplates, queriesPerTemplate int, seed int64) ([]Query, error) {
+	return baselines.Random(p, funcs, numTemplates, queriesPerTemplate, query.SpaceOptions{}, seed)
+}
+
+// GenerateDataset builds one of the six synthetic evaluation datasets by
+// name ("tmall", "instacart", "student", "merchant", "covtype", "household").
+func GenerateDataset(name string, trainRows int, seed int64) (*datagen.Dataset, error) {
+	gen, err := datagen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return gen(datagen.Options{TrainRows: trainRows, Seed: seed}), nil
+}
+
+// DatasetProblem converts a generated dataset into an evaluation problem.
+func DatasetProblem(d *datagen.Dataset) Problem {
+	return Problem{
+		Train: d.Train, Relevant: d.Relevant, Label: d.Label, Task: d.Task,
+		Keys: d.Keys, AggAttrs: d.AggAttrs, PredAttrs: d.PredAttrs,
+		BaseFeatures: d.BaseFeatures,
+	}
+}
+
+// TPEOptions re-exports the optimiser knobs for advanced users.
+type TPEOptions = hpo.TPEOptions
+
+// Multi-table schema support (Section III's reductions).
+type (
+	// Schema is a multi-table relational schema.
+	Schema = relschema.Schema
+	// Relationship is one foreign-key edge.
+	Relationship = relschema.Relationship
+	// RelevantTable is one flattened one-to-many scenario.
+	RelevantTable = relschema.RelevantTable
+	// RelevantInput feeds one relevant table to AugmentMulti.
+	RelevantInput = feataug.RelevantInput
+	// MultiResult is the outcome of a multi-relevant-table run.
+	MultiResult = feataug.MultiResult
+)
+
+// Relationship cardinalities.
+const (
+	OneToMany = relschema.OneToMany
+	ManyToOne = relschema.ManyToOne
+	OneToOne  = relschema.OneToOne
+)
+
+// NewSchema builds an empty multi-table schema.
+func NewSchema() *Schema { return relschema.NewSchema() }
+
+// AugmentMulti runs FeatAug once per relevant table and merges every
+// generated feature onto one training table (the paper's multiple-relevant-
+// tables decomposition).
+func AugmentMulti(base Problem, model ModelKind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
+	return feataug.AugmentMulti(base, model, cfg, inputs)
+}
+
+// ParseSQL parses a predicate-aware SQL query in the paper's canonical form
+// and returns the query plus the relation name.
+func ParseSQL(sql string) (Query, string, error) { return query.ParseSQL(sql) }

@@ -1,0 +1,178 @@
+package repro
+
+// Integration tests asserting the paper's headline qualitative claims
+// end-to-end through the public API, on the planted-signal datasets. Seeds
+// are fixed; budgets are chosen so the assertions are stable.
+
+import (
+	"strings"
+	"testing"
+)
+
+// integrationConfig is a mid-size budget: enough to find planted signal,
+// small enough for the suite.
+func integrationConfig(seed int64) Config {
+	return Config{
+		Seed: seed, WarmupIters: 30, WarmupTopK: 8, GenIters: 10,
+		NumTemplates: 3, QueriesPerTemplate: 2, MaxDepth: 2,
+		TemplateProxyIters: 12,
+	}
+}
+
+// TestClaimFeatAugBeatsRandom: the paper's Table III observation that
+// Bayesian-optimised predicate search beats random predicate search under
+// the same feature budget.
+func TestClaimFeatAugBeatsRandom(t *testing.T) {
+	d, err := GenerateDataset("merchant", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	ev, err := NewEvaluator(p, ModelLR, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Augment(p, ModelLR, BasicAggFuncs(), integrationConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, featTest, err := ev.QuerySetScores(res.QueryList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random baseline with the same budget (6 queries).
+	randQ, err := RandomQueries(p, BasicAggFuncs(), 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, randTest, err := ev.QuerySetScores(randQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMSE: lower is better.
+	if featTest >= randTest {
+		t.Fatalf("FeatAug RMSE %.4f should beat Random RMSE %.4f", featTest, randTest)
+	}
+}
+
+// TestClaimPredicatesBeatPredicateFree: the core thesis — on data whose
+// signal hides behind a predicate, FeatAug beats Featuretools' predicate-
+// free enumeration. Averaged over three seeds (the paper averages five
+// repetitions for the same reason); single seeds can land within noise.
+func TestClaimPredicatesBeatPredicateFree(t *testing.T) {
+	var ftSum, faSum float64
+	for _, seed := range []int64{4, 14, 24} {
+		d, err := GenerateDataset("merchant", 500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DatasetProblem(d)
+		ev, err := NewEvaluator(p, ModelLR, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := Featuretools(p, BasicAggFuncs())
+		_, ftTest, err := ev.QuerySetScores(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := integrationConfig(seed)
+		// Match the paper's equal-budget protocol: FT materialises its whole
+		// DFS pool, so give FeatAug the same number of features.
+		cfg.NumTemplates = 4
+		cfg.QueriesPerTemplate = (len(ft) + 3) / 4
+		cfg.WarmupIters = 60
+		cfg.GenIters = 20
+		res, err := Augment(p, ModelLR, BasicAggFuncs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, faTest, err := ev.QuerySetScores(res.QueryList())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftSum += ftTest
+		faSum += faTest
+	}
+	if faSum >= ftSum {
+		t.Fatalf("FeatAug mean RMSE %.4f should beat Featuretools mean RMSE %.4f", faSum/3, ftSum/3)
+	}
+}
+
+// TestClaimQTIIdentifiesPlantedTemplate: template identification surfaces
+// the attribute combination that carries the planted signal (month_lag +
+// approved on the merchant dataset).
+func TestClaimQTIIdentifiesPlantedTemplate(t *testing.T) {
+	d, err := GenerateDataset("merchant", 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	ev, err := NewEvaluator(p, ModelLR, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(ev, BasicAggFuncs(), integrationConfig(5))
+	tpls, err := engine.IdentifyTemplates(p.PredAttrs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// month_lag must appear in the top templates — it gates the signal.
+	found := false
+	for _, ts := range tpls {
+		if strings.Contains(strings.Join(ts.PredAttrs, ","), "month_lag") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("month_lag missing from top templates: %+v", tpls)
+	}
+}
+
+// TestClaimGeneratedSQLRoundTrips: every query FeatAug emits is valid SQL in
+// the paper's dialect and survives parse → render.
+func TestClaimGeneratedSQLRoundTrips(t *testing.T) {
+	d, err := GenerateDataset("tmall", 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	p.PredAttrs = p.PredAttrs[:3]
+	res, err := Augment(p, ModelLR, BasicAggFuncs(), integrationConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gq := range res.Queries {
+		sql := gq.Query.SQL("logs")
+		parsed, rel, err := ParseSQL(sql)
+		if err != nil {
+			t.Fatalf("generated SQL does not parse: %s (%v)", sql, err)
+		}
+		if rel != "logs" || parsed.SQL("logs") != sql {
+			t.Fatalf("round trip mismatch for %s", sql)
+		}
+	}
+}
+
+// TestClaimLoggingHook: the Logf hook observes the engine's progress.
+func TestClaimLoggingHook(t *testing.T) {
+	d, err := GenerateDataset("student", 250, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	p.PredAttrs = p.PredAttrs[:2]
+	var lines []string
+	cfg := integrationConfig(7)
+	cfg.NumTemplates = 1
+	cfg.QueriesPerTemplate = 1
+	cfg.Logf = func(format string, args ...interface{}) {
+		lines = append(lines, format)
+	}
+	if _, err := Augment(p, ModelLR, BasicAggFuncs(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("expected progress lines, got %d", len(lines))
+	}
+}

@@ -1,0 +1,312 @@
+// Package agg implements the fifteen aggregation functions the paper's query
+// templates use (Table II): SUM, MIN, MAX, COUNT, AVG, COUNT_DISTINCT, VAR,
+// VAR_SAMPLE, STD, STD_SAMPLE, ENTROPY, KURTOSIS, MODE, MAD and MEDIAN.
+//
+// Every function consumes the non-null numeric values of one group (plus the
+// total group size n, which COUNT needs) and returns a value and an ok flag;
+// ok == false maps to SQL NULL, e.g. AVG over an empty group.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Func identifies one aggregation function.
+type Func int
+
+// The aggregation function set, matching the paper's Table II list.
+const (
+	Sum Func = iota
+	Min
+	Max
+	Count
+	Avg
+	CountDistinct
+	Var
+	VarSample
+	Std
+	StdSample
+	Entropy
+	Kurtosis
+	Mode
+	MAD
+	Median
+	numFuncs // sentinel
+)
+
+// All returns the full function set in declaration order.
+func All() []Func {
+	out := make([]Func, numFuncs)
+	for i := range out {
+		out[i] = Func(i)
+	}
+	return out
+}
+
+// Basic returns the five-function subset Featuretools demos typically use;
+// handy for small examples.
+func Basic() []Func { return []Func{Sum, Min, Max, Count, Avg} }
+
+var names = [...]string{
+	"SUM", "MIN", "MAX", "COUNT", "AVG", "COUNT_DISTINCT",
+	"VAR", "VAR_SAMPLE", "STD", "STD_SAMPLE", "ENTROPY",
+	"KURTOSIS", "MODE", "MAD", "MEDIAN",
+}
+
+// String returns the SQL-style upper-case name.
+func (f Func) String() string {
+	if f < 0 || int(f) >= len(names) {
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+	return names[f]
+}
+
+// Parse maps a name (as produced by String) back to a Func.
+func Parse(name string) (Func, error) {
+	for i, n := range names {
+		if n == name {
+			return Func(i), nil
+		}
+	}
+	return 0, fmt.Errorf("agg: unknown function %q", name)
+}
+
+// Apply evaluates f over the non-null values of one group. n is the total
+// group size including nulls (only COUNT uses it). ok is false when the
+// result is undefined (empty input, or e.g. sample variance of one value).
+func (f Func) Apply(values []float64, n int) (float64, bool) {
+	switch f {
+	case Count:
+		return float64(n), true
+	case CountDistinct:
+		return countDistinct(values), true
+	}
+	if len(values) == 0 {
+		return 0, false
+	}
+	switch f {
+	case Sum:
+		return sum(values), true
+	case Min:
+		lo := values[0]
+		for _, v := range values[1:] {
+			if v < lo {
+				lo = v
+			}
+		}
+		return lo, true
+	case Max:
+		hi := values[0]
+		for _, v := range values[1:] {
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi, true
+	case Avg:
+		return sum(values) / float64(len(values)), true
+	case Var:
+		return populationVar(values), true
+	case VarSample:
+		if len(values) < 2 {
+			return 0, false
+		}
+		return populationVar(values) * float64(len(values)) / float64(len(values)-1), true
+	case Std:
+		return math.Sqrt(populationVar(values)), true
+	case StdSample:
+		if len(values) < 2 {
+			return 0, false
+		}
+		return math.Sqrt(populationVar(values) * float64(len(values)) / float64(len(values)-1)), true
+	case Entropy:
+		return entropy(values), true
+	case Kurtosis:
+		return kurtosis(values)
+	case Mode:
+		return mode(values), true
+	case MAD:
+		return mad(values), true
+	case Median:
+		return median(values), true
+	default:
+		return 0, false
+	}
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func populationVar(v []float64) float64 {
+	m := sum(v) / float64(len(v))
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(v))
+}
+
+func countDistinct(v []float64) float64 {
+	seen := make(map[float64]struct{}, len(v))
+	for _, x := range v {
+		seen[x] = struct{}{}
+	}
+	return float64(len(seen))
+}
+
+// entropy treats each distinct value as a category and returns the Shannon
+// entropy (nats) of the empirical distribution, matching Featuretools'
+// ENTROPY primitive. Accumulation follows sorted value order so the float
+// sum is bit-for-bit reproducible across runs (map order would perturb it).
+func entropy(v []float64) float64 {
+	counts := make(map[float64]int, len(v))
+	for _, x := range v {
+		counts[x]++
+	}
+	keys := make([]float64, 0, len(counts))
+	for x := range counts {
+		keys = append(keys, x)
+	}
+	sort.Float64s(keys)
+	n := float64(len(v))
+	h := 0.0
+	for _, x := range keys {
+		p := float64(counts[x]) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// kurtosis returns the excess kurtosis (Fisher). Undefined when the variance
+// is zero or fewer than 4 observations (scipy convention with bias=True
+// would allow n>=1, but a degenerate result is not useful as a feature).
+func kurtosis(v []float64) (float64, bool) {
+	if len(v) < 4 {
+		return 0, false
+	}
+	m := sum(v) / float64(len(v))
+	m2, m4 := 0.0, 0.0
+	for _, x := range v {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	n := float64(len(v))
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0, false
+	}
+	return m4/(m2*m2) - 3, true
+}
+
+// mode returns the most frequent value; ties break toward the smaller value
+// for determinism.
+func mode(v []float64) float64 {
+	counts := make(map[float64]int, len(v))
+	for _, x := range v {
+		counts[x]++
+	}
+	best, bestN := math.Inf(1), -1
+	for x, c := range counts {
+		if c > bestN || (c == bestN && x < best) {
+			best, bestN = x, c
+		}
+	}
+	return best
+}
+
+// median returns the middle value (mean of the two middle values for even
+// lengths). The input is not modified.
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mad returns the median absolute deviation from the median.
+func mad(v []float64) float64 {
+	med := median(v)
+	dev := make([]float64, len(v))
+	for i, x := range v {
+		dev[i] = math.Abs(x - med)
+	}
+	return median(dev)
+}
+
+// StringApply evaluates the aggregations that are meaningful on categorical
+// (string) inputs, encoding the result numerically: COUNT and COUNT_DISTINCT
+// count values, ENTROPY is over category frequencies, and MODE returns the
+// frequency of the modal category (a numeric image of the modal value that a
+// downstream model can consume). ok is false for unsupported functions.
+func (f Func) StringApply(values []string, n int) (float64, bool) {
+	switch f {
+	case Count:
+		return float64(n), true
+	case CountDistinct:
+		seen := map[string]struct{}{}
+		for _, v := range values {
+			seen[v] = struct{}{}
+		}
+		return float64(len(seen)), true
+	case Entropy:
+		if len(values) == 0 {
+			return 0, false
+		}
+		counts := map[string]int{}
+		for _, v := range values {
+			counts[v]++
+		}
+		keys := make([]string, 0, len(counts))
+		for v := range counts {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys)
+		total := float64(len(values))
+		h := 0.0
+		for _, v := range keys {
+			p := float64(counts[v]) / total
+			h -= p * math.Log(p)
+		}
+		return h, true
+	case Mode:
+		if len(values) == 0 {
+			return 0, false
+		}
+		counts := map[string]int{}
+		for _, v := range values {
+			counts[v]++
+		}
+		best, bestN := "", -1
+		for v, c := range counts {
+			if c > bestN || (c == bestN && v < best) {
+				best, bestN = v, c
+			}
+		}
+		return float64(bestN), true
+	default:
+		return 0, false
+	}
+}
+
+// SupportsStrings reports whether f has a meaningful StringApply.
+func (f Func) SupportsStrings() bool {
+	switch f {
+	case Count, CountDistinct, Entropy, Mode:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func apply(t *testing.T, f Func, v []float64) float64 {
+	t.Helper()
+	got, ok := f.Apply(v, len(v))
+	if !ok {
+		t.Fatalf("%s(%v) unexpectedly undefined", f, v)
+	}
+	return got
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAllAndNames(t *testing.T) {
+	fns := All()
+	if len(fns) != 15 {
+		t.Fatalf("All() has %d funcs, paper lists 15", len(fns))
+	}
+	for _, f := range fns {
+		parsed, err := Parse(f.String())
+		if err != nil || parsed != f {
+			t.Errorf("Parse(String(%v)) = %v, %v", f, parsed, err)
+		}
+	}
+	if _, err := Parse("NOPE"); err == nil {
+		t.Fatal("Parse of unknown name should fail")
+	}
+	if Func(99).String() != "Func(99)" {
+		t.Fatal("out-of-range String")
+	}
+	if len(Basic()) != 5 {
+		t.Fatal("Basic should have 5 funcs")
+	}
+}
+
+func TestSimpleAggregates(t *testing.T) {
+	v := []float64{4, 1, 3, 2}
+	if got := apply(t, Sum, v); got != 10 {
+		t.Errorf("SUM = %v", got)
+	}
+	if got := apply(t, Min, v); got != 1 {
+		t.Errorf("MIN = %v", got)
+	}
+	if got := apply(t, Max, v); got != 4 {
+		t.Errorf("MAX = %v", got)
+	}
+	if got := apply(t, Avg, v); got != 2.5 {
+		t.Errorf("AVG = %v", got)
+	}
+	if got := apply(t, Median, v); got != 2.5 {
+		t.Errorf("MEDIAN = %v", got)
+	}
+	if got := apply(t, Median, []float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd MEDIAN = %v", got)
+	}
+}
+
+func TestCountUsesGroupSizeIncludingNulls(t *testing.T) {
+	got, ok := Count.Apply([]float64{1, 2}, 5)
+	if !ok || got != 5 {
+		t.Fatalf("COUNT = %v, want 5 (group size incl. nulls)", got)
+	}
+	// COUNT of an empty group is 0, not NULL.
+	got, ok = Count.Apply(nil, 0)
+	if !ok || got != 0 {
+		t.Fatalf("COUNT(empty) = %v,%v", got, ok)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	got, ok := CountDistinct.Apply([]float64{1, 1, 2, 3, 3, 3}, 6)
+	if !ok || got != 3 {
+		t.Fatalf("COUNT_DISTINCT = %v", got)
+	}
+	got, ok = CountDistinct.Apply(nil, 0)
+	if !ok || got != 0 {
+		t.Fatal("COUNT_DISTINCT(empty) should be 0, defined")
+	}
+}
+
+func TestVarianceFamily(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9} // classic example: pop var 4
+	if got := apply(t, Var, v); !almost(got, 4) {
+		t.Errorf("VAR = %v", got)
+	}
+	if got := apply(t, Std, v); !almost(got, 2) {
+		t.Errorf("STD = %v", got)
+	}
+	if got := apply(t, VarSample, v); !almost(got, 4*8.0/7.0) {
+		t.Errorf("VAR_SAMPLE = %v", got)
+	}
+	if got := apply(t, StdSample, v); !almost(got, math.Sqrt(4*8.0/7.0)) {
+		t.Errorf("STD_SAMPLE = %v", got)
+	}
+	if _, ok := VarSample.Apply([]float64{1}, 1); ok {
+		t.Error("sample variance of one value should be undefined")
+	}
+	if _, ok := StdSample.Apply([]float64{1}, 1); ok {
+		t.Error("sample std of one value should be undefined")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over 2 values → ln 2.
+	if got := apply(t, Entropy, []float64{1, 2}); !almost(got, math.Ln2) {
+		t.Errorf("ENTROPY = %v, want ln2", got)
+	}
+	// Constant → 0.
+	if got := apply(t, Entropy, []float64{5, 5, 5}); !almost(got, 0) {
+		t.Errorf("ENTROPY const = %v", got)
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Symmetric two-point distribution has excess kurtosis -2.
+	if got := apply(t, Kurtosis, []float64{1, 1, -1, -1}); !almost(got, -2) {
+		t.Errorf("KURTOSIS = %v, want -2", got)
+	}
+	if _, ok := Kurtosis.Apply([]float64{1, 2, 3}, 3); ok {
+		t.Error("kurtosis of <4 values should be undefined")
+	}
+	if _, ok := Kurtosis.Apply([]float64{2, 2, 2, 2}, 4); ok {
+		t.Error("kurtosis of constant should be undefined")
+	}
+}
+
+func TestModeDeterministicTieBreak(t *testing.T) {
+	if got := apply(t, Mode, []float64{3, 1, 3, 1}); got != 1 {
+		t.Errorf("MODE tie = %v, want smaller value 1", got)
+	}
+	if got := apply(t, Mode, []float64{2, 2, 9}); got != 2 {
+		t.Errorf("MODE = %v", got)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// median=3, abs dev = [2,1,0,1,2] → MAD=1
+	if got := apply(t, MAD, []float64{1, 2, 3, 4, 5}); got != 1 {
+		t.Errorf("MAD = %v", got)
+	}
+}
+
+func TestEmptyInputUndefined(t *testing.T) {
+	for _, f := range []Func{Sum, Min, Max, Avg, Var, Std, Entropy, Kurtosis, Mode, MAD, Median} {
+		if _, ok := f.Apply(nil, 3); ok {
+			t.Errorf("%s(empty) should be undefined", f)
+		}
+	}
+	if _, ok := Func(99).Apply([]float64{1}, 1); ok {
+		t.Error("unknown func should be undefined")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	v := []float64{3, 1, 2}
+	apply(t, Median, v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("MEDIAN mutated its input")
+	}
+}
+
+func TestStringApply(t *testing.T) {
+	vals := []string{"a", "b", "a", "a"}
+	if got, ok := Count.StringApply(vals, 5); !ok || got != 5 {
+		t.Errorf("COUNT strings = %v,%v", got, ok)
+	}
+	if got, ok := CountDistinct.StringApply(vals, 4); !ok || got != 2 {
+		t.Errorf("COUNT_DISTINCT strings = %v", got)
+	}
+	if got, ok := Mode.StringApply(vals, 4); !ok || got != 3 {
+		t.Errorf("MODE strings = %v (frequency of modal value)", got)
+	}
+	if got, ok := Entropy.StringApply([]string{"x", "y"}, 2); !ok || !almost(got, math.Ln2) {
+		t.Errorf("ENTROPY strings = %v", got)
+	}
+	if _, ok := Sum.StringApply(vals, 4); ok {
+		t.Error("SUM on strings should be unsupported")
+	}
+	if _, ok := Entropy.StringApply(nil, 0); ok {
+		t.Error("ENTROPY on empty strings should be undefined")
+	}
+	if _, ok := Mode.StringApply(nil, 0); ok {
+		t.Error("MODE on empty strings should be undefined")
+	}
+}
+
+func TestStringModeTieBreak(t *testing.T) {
+	// Tie between "a" (2) and "b" (2) — both have frequency 2 so the numeric
+	// image is 2 either way, but exercise the tie-break path.
+	if got, ok := Mode.StringApply([]string{"b", "a", "b", "a"}, 4); !ok || got != 2 {
+		t.Errorf("MODE string tie = %v", got)
+	}
+}
+
+func TestSupportsStrings(t *testing.T) {
+	for _, f := range []Func{Count, CountDistinct, Entropy, Mode} {
+		if !f.SupportsStrings() {
+			t.Errorf("%s should support strings", f)
+		}
+	}
+	for _, f := range []Func{Sum, Avg, Median, Kurtosis} {
+		if f.SupportsStrings() {
+			t.Errorf("%s should not support strings", f)
+		}
+	}
+}
+
+// Property: MIN <= AVG <= MAX and MIN <= MEDIAN <= MAX for any non-empty
+// input.
+func TestPropertyOrderStatistics(t *testing.T) {
+	f := func(raw []float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		lo, _ := Min.Apply(v, len(v))
+		hi, _ := Max.Apply(v, len(v))
+		avg, _ := Avg.Apply(v, len(v))
+		med, _ := Median.Apply(v, len(v))
+		const eps = 1e-6
+		return lo-eps <= avg && avg <= hi+eps && lo-eps <= med && med <= hi+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VAR >= 0 and STD^2 == VAR.
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		va, _ := Var.Apply(v, len(v))
+		st, _ := Std.Apply(v, len(v))
+		return va >= 0 && math.Abs(st*st-va) <= 1e-6*(1+va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ENTROPY is maximised by all-distinct inputs (= ln n) and is
+// always within [0, ln n].
+func TestPropertyEntropyBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x)
+		}
+		h, _ := Entropy.Apply(v, len(v))
+		return h >= -1e-12 && h <= math.Log(float64(len(v)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package baselines implements every comparison method of the paper's
+// evaluation: Featuretools-style Deep Feature Synthesis (predicate-free query
+// enumeration), the seven feature selectors stacked on it (LR, GBDT, MI,
+// Chi2, Gini, Forward, Backward), the Random search baseline, and the
+// one-to-one-table methods ARDA (random-injection feature ranking) and
+// AutoFeature (multi-armed-bandit and DQN-flavoured reinforcement selection).
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agg"
+	"repro/internal/dataframe"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+)
+
+// DFS enumerates the Featuretools query space: every aggregation function ×
+// every aggregatable attribute, no predicates, grouped by the full foreign
+// key — exactly the "SELECT k, agg(a) FROM R GROUP BY k" form of Example 3.
+// String attributes only pair with the functions that support them.
+func DFS(p pipeline.Problem, funcs []agg.Func) []query.Query {
+	if funcs == nil {
+		funcs = agg.All()
+	}
+	var out []query.Query
+	for _, attr := range p.AggAttrs {
+		col := p.Relevant.Column(attr)
+		isString := col != nil && col.Kind() == dataframe.KindString
+		for _, f := range funcs {
+			if isString && !f.SupportsStrings() {
+				continue
+			}
+			out = append(out, query.Query{
+				Agg:     f,
+				AggAttr: attr,
+				Keys:    append([]string(nil), p.Keys...),
+			})
+		}
+	}
+	return out
+}
+
+// Featuretools is the plain FT baseline: materialise every DFS feature (no
+// selection) and return the query list.
+func Featuretools(p pipeline.Problem, funcs []agg.Func) []query.Query {
+	return DFS(p, funcs)
+}
+
+// Random is the paper's Random baseline: it draws random WHERE-clause
+// attribute combinations (random templates) and random queries from each
+// template's pool.
+func Random(p pipeline.Problem, funcs []agg.Func, numTemplates, queriesPerTemplate int, spaceOpts query.SpaceOptions, seed int64) ([]query.Query, error) {
+	if funcs == nil {
+		funcs = agg.All()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []query.Query
+	for t := 0; t < numTemplates; t++ {
+		// Random non-empty subset of the predicate attributes.
+		var combo []string
+		for _, a := range p.PredAttrs {
+			if rng.Float64() < 0.5 {
+				combo = append(combo, a)
+			}
+		}
+		if len(combo) == 0 && len(p.PredAttrs) > 0 {
+			combo = []string{p.PredAttrs[rng.Intn(len(p.PredAttrs))]}
+		}
+		tpl := query.Template{
+			Funcs: funcs, AggAttrs: p.AggAttrs, PredAttrs: combo,
+			Keys: p.Keys,
+		}
+		space, err := query.BuildSpace(p.Relevant, tpl, spaceOpts)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < queriesPerTemplate; i++ {
+			q, err := space.Decode(space.RandomVector(rng.Intn))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}
+
+// FeatureMatrix materialises a query list into aligned feature vectors plus
+// validity masks, the common input of the selectors.
+type FeatureMatrix struct {
+	Queries []query.Query
+	Vals    [][]float64 // [feature][row]
+	Valid   [][]bool
+}
+
+// Materialize executes all queries through the evaluator's cache.
+func Materialize(e *pipeline.Evaluator, qs []query.Query) (*FeatureMatrix, error) {
+	fm := &FeatureMatrix{Queries: qs}
+	for _, q := range qs {
+		vals, valid, err := e.Feature(q)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: materialise %s: %w", q.SQL("R"), err)
+		}
+		fm.Vals = append(fm.Vals, vals)
+		fm.Valid = append(fm.Valid, valid)
+	}
+	return fm, nil
+}
+
+// Select applies indices to the query list.
+func (fm *FeatureMatrix) Select(idx []int) []query.Query {
+	out := make([]query.Query, len(idx))
+	for i, j := range idx {
+		out[i] = fm.Queries[j]
+	}
+	return out
+}
+
+// imputed returns feature i with NULLs replaced by the feature mean.
+func (fm *FeatureMatrix) imputed(i int) []float64 {
+	vals, valid := fm.Vals[i], fm.Valid[i]
+	mean, cnt := 0.0, 0
+	for r := range vals {
+		if valid[r] {
+			mean += vals[r]
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		mean /= float64(cnt)
+	}
+	out := make([]float64, len(vals))
+	for r := range vals {
+		if valid[r] {
+			out[r] = vals[r]
+		} else {
+			out[r] = mean
+		}
+	}
+	return out
+}

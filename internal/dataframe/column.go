@@ -1,0 +1,437 @@
+// Package dataframe implements a small columnar table engine: typed columns
+// with null bitmaps, filtering, sorting, group-by aggregation and left joins.
+// It is the relational substrate FeatAug executes predicate-aware queries on,
+// playing the role pandas plays in the original paper.
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Kind identifies the physical type of a Column.
+type Kind int
+
+// Supported column kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindTime
+	KindBool
+)
+
+// String returns the lower-case kind name ("int", "float", ...).
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsNumeric reports whether the kind holds ordered numeric data.
+// Time counts as numeric because range predicates apply to it.
+func (k Kind) IsNumeric() bool {
+	return k == KindInt || k == KindFloat || k == KindTime
+}
+
+// Column is a typed vector of values with a validity (non-null) bitmap.
+// The zero value is an empty int column named "".
+type Column struct {
+	name   string
+	kind   Kind
+	ints   []int64   // KindInt and KindTime (unix seconds)
+	floats []float64 // KindFloat
+	strs   []string  // KindString
+	bools  []bool    // KindBool
+	valid  []bool    // valid[i] == false means NULL
+}
+
+// NewIntColumn builds an int column. A nil valid slice means all values are
+// present.
+func NewIntColumn(name string, values []int64, valid []bool) *Column {
+	return &Column{name: name, kind: KindInt, ints: values, valid: normValid(valid, len(values))}
+}
+
+// NewFloatColumn builds a float column. NaN values are marked null.
+func NewFloatColumn(name string, values []float64, valid []bool) *Column {
+	v := normValid(valid, len(values))
+	for i, x := range values {
+		if math.IsNaN(x) {
+			v[i] = false
+		}
+	}
+	return &Column{name: name, kind: KindFloat, floats: values, valid: v}
+}
+
+// NewStringColumn builds a string column.
+func NewStringColumn(name string, values []string, valid []bool) *Column {
+	return &Column{name: name, kind: KindString, strs: values, valid: normValid(valid, len(values))}
+}
+
+// NewTimeColumn builds a time column from unix-seconds timestamps.
+func NewTimeColumn(name string, unixSecs []int64, valid []bool) *Column {
+	return &Column{name: name, kind: KindTime, ints: unixSecs, valid: normValid(valid, len(unixSecs))}
+}
+
+// NewBoolColumn builds a bool column.
+func NewBoolColumn(name string, values []bool, valid []bool) *Column {
+	return &Column{name: name, kind: KindBool, bools: values, valid: normValid(valid, len(values))}
+}
+
+func normValid(valid []bool, n int) []bool {
+	if valid == nil {
+		valid = make([]bool, n)
+		for i := range valid {
+			valid[i] = true
+		}
+		return valid
+	}
+	if len(valid) != n {
+		panic(fmt.Sprintf("dataframe: valid length %d != values length %d", len(valid), n))
+	}
+	out := make([]bool, n)
+	copy(out, valid)
+	return out
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the physical type of the column.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.valid) }
+
+// Rename returns a copy of the column metadata under a new name, sharing the
+// underlying data.
+func (c *Column) Rename(name string) *Column {
+	cp := *c
+	cp.name = name
+	return &cp
+}
+
+// IsNull reports whether the value at row i is NULL.
+func (c *Column) IsNull(i int) bool { return !c.valid[i] }
+
+// NullCount returns the number of NULL entries.
+func (c *Column) NullCount() int {
+	n := 0
+	for _, v := range c.valid {
+		if !v {
+			n++
+		}
+	}
+	return n
+}
+
+// Int returns the int64 value at row i. Valid for KindInt and KindTime.
+func (c *Column) Int(i int) int64 {
+	if c.kind != KindInt && c.kind != KindTime {
+		panic("dataframe: Int on " + c.kind.String() + " column " + c.name)
+	}
+	return c.ints[i]
+}
+
+// Float returns the float64 value at row i. Valid for KindFloat.
+func (c *Column) Float(i int) float64 {
+	if c.kind != KindFloat {
+		panic("dataframe: Float on " + c.kind.String() + " column " + c.name)
+	}
+	return c.floats[i]
+}
+
+// Str returns the string value at row i. Valid for KindString.
+func (c *Column) Str(i int) string {
+	if c.kind != KindString {
+		panic("dataframe: Str on " + c.kind.String() + " column " + c.name)
+	}
+	return c.strs[i]
+}
+
+// Bool returns the bool value at row i. Valid for KindBool.
+func (c *Column) Bool(i int) bool {
+	if c.kind != KindBool {
+		panic("dataframe: Bool on " + c.kind.String() + " column " + c.name)
+	}
+	return c.bools[i]
+}
+
+// Time returns the time value at row i. Valid for KindTime.
+func (c *Column) Time(i int) time.Time {
+	if c.kind != KindTime {
+		panic("dataframe: Time on " + c.kind.String() + " column " + c.name)
+	}
+	return time.Unix(c.ints[i], 0).UTC()
+}
+
+// AsFloat returns the value at row i coerced to float64, and whether it is
+// non-null. Strings and bools convert as: bool → 0/1, string → NaN/false.
+func (c *Column) AsFloat(i int) (float64, bool) {
+	if !c.valid[i] {
+		return 0, false
+	}
+	switch c.kind {
+	case KindInt, KindTime:
+		return float64(c.ints[i]), true
+	case KindFloat:
+		return c.floats[i], true
+	case KindBool:
+		if c.bools[i] {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return math.NaN(), false
+	}
+}
+
+// Value returns the value at row i as an interface, or nil when NULL.
+func (c *Column) Value(i int) interface{} {
+	if !c.valid[i] {
+		return nil
+	}
+	switch c.kind {
+	case KindInt:
+		return c.ints[i]
+	case KindFloat:
+		return c.floats[i]
+	case KindString:
+		return c.strs[i]
+	case KindTime:
+		return time.Unix(c.ints[i], 0).UTC()
+	case KindBool:
+		return c.bools[i]
+	}
+	return nil
+}
+
+// KeyString returns a canonical string for group-by / join hashing, with a
+// sentinel for NULL.
+func (c *Column) KeyString(i int) string {
+	if !c.valid[i] {
+		return "\x00NULL"
+	}
+	switch c.kind {
+	case KindInt, KindTime:
+		return fmt.Sprintf("i%d", c.ints[i])
+	case KindFloat:
+		return fmt.Sprintf("f%g", c.floats[i])
+	case KindString:
+		return "s" + c.strs[i]
+	case KindBool:
+		if c.bools[i] {
+			return "b1"
+		}
+		return "b0"
+	}
+	return ""
+}
+
+// Take returns a new column containing the rows listed in idx, in order.
+func (c *Column) Take(idx []int) *Column {
+	out := &Column{name: c.name, kind: c.kind, valid: make([]bool, len(idx))}
+	switch c.kind {
+	case KindInt, KindTime:
+		out.ints = make([]int64, len(idx))
+		for j, i := range idx {
+			out.ints[j] = c.ints[i]
+			out.valid[j] = c.valid[i]
+		}
+	case KindFloat:
+		out.floats = make([]float64, len(idx))
+		for j, i := range idx {
+			out.floats[j] = c.floats[i]
+			out.valid[j] = c.valid[i]
+		}
+	case KindString:
+		out.strs = make([]string, len(idx))
+		for j, i := range idx {
+			out.strs[j] = c.strs[i]
+			out.valid[j] = c.valid[i]
+		}
+	case KindBool:
+		out.bools = make([]bool, len(idx))
+		for j, i := range idx {
+			out.bools[j] = c.bools[i]
+			out.valid[j] = c.valid[i]
+		}
+	}
+	return out
+}
+
+// Floats materialises the column as a float64 slice plus a validity slice,
+// coercing ints, times and bools. String columns yield ordinal codes over the
+// sorted distinct domain so that downstream numeric consumers (ML models,
+// MI estimators) can handle them.
+func (c *Column) Floats() ([]float64, []bool) {
+	out := make([]float64, c.Len())
+	valid := make([]bool, c.Len())
+	if c.kind == KindString {
+		codes := c.ordinalCodes()
+		for i := range out {
+			out[i] = float64(codes[i])
+			valid[i] = c.valid[i]
+		}
+		return out, valid
+	}
+	for i := range out {
+		out[i], valid[i] = c.AsFloat(i)
+	}
+	return out, valid
+}
+
+// ordinalCodes maps each string value to its rank in the sorted distinct
+// domain. NULLs get code -1.
+func (c *Column) ordinalCodes() []int {
+	domain := map[string]int{}
+	var keys []string
+	for i, s := range c.strs {
+		if !c.valid[i] {
+			continue
+		}
+		if _, ok := domain[s]; !ok {
+			domain[s] = 0
+			keys = append(keys, s)
+		}
+	}
+	sortStrings(keys)
+	for rank, k := range keys {
+		domain[k] = rank
+	}
+	codes := make([]int, len(c.strs))
+	for i, s := range c.strs {
+		if !c.valid[i] {
+			codes[i] = -1
+			continue
+		}
+		codes[i] = domain[s]
+	}
+	return codes
+}
+
+func sortStrings(s []string) {
+	// Insertion sort is fine for domains; avoid importing sort here to keep
+	// this file dependency-free, and domains are small in practice.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// AppendNull extends the column with one NULL row.
+func (c *Column) AppendNull() {
+	c.valid = append(c.valid, false)
+	switch c.kind {
+	case KindInt, KindTime:
+		c.ints = append(c.ints, 0)
+	case KindFloat:
+		c.floats = append(c.floats, 0)
+	case KindString:
+		c.strs = append(c.strs, "")
+	case KindBool:
+		c.bools = append(c.bools, false)
+	}
+}
+
+// AppendInt extends an int or time column with a value.
+func (c *Column) AppendInt(v int64) {
+	if c.kind != KindInt && c.kind != KindTime {
+		panic("dataframe: AppendInt on " + c.kind.String())
+	}
+	c.ints = append(c.ints, v)
+	c.valid = append(c.valid, true)
+}
+
+// AppendFloat extends a float column with a value.
+func (c *Column) AppendFloat(v float64) {
+	if c.kind != KindFloat {
+		panic("dataframe: AppendFloat on " + c.kind.String())
+	}
+	c.floats = append(c.floats, v)
+	c.valid = append(c.valid, !math.IsNaN(v))
+}
+
+// AppendStr extends a string column with a value.
+func (c *Column) AppendStr(v string) {
+	if c.kind != KindString {
+		panic("dataframe: AppendStr on " + c.kind.String())
+	}
+	c.strs = append(c.strs, v)
+	c.valid = append(c.valid, true)
+}
+
+// AppendBool extends a bool column with a value.
+func (c *Column) AppendBool(v bool) {
+	if c.kind != KindBool {
+		panic("dataframe: AppendBool on " + c.kind.String())
+	}
+	c.bools = append(c.bools, v)
+	c.valid = append(c.valid, true)
+}
+
+// Clone deep-copies the column.
+func (c *Column) Clone() *Column {
+	out := &Column{name: c.name, kind: c.kind}
+	out.valid = append([]bool(nil), c.valid...)
+	out.ints = append([]int64(nil), c.ints...)
+	out.floats = append([]float64(nil), c.floats...)
+	out.strs = append([]string(nil), c.strs...)
+	out.bools = append([]bool(nil), c.bools...)
+	return out
+}
+
+// DistinctStrings returns the sorted distinct non-null values of a string
+// column, capped at limit (0 = no cap).
+func (c *Column) DistinctStrings(limit int) []string {
+	if c.kind != KindString {
+		panic("dataframe: DistinctStrings on " + c.kind.String())
+	}
+	seen := map[string]bool{}
+	var out []string
+	for i, s := range c.strs {
+		if !c.valid[i] || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	sortStrings(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// MinMaxFloat returns the minimum and maximum non-null values of a numeric
+// column, and false when the column has no non-null values.
+func (c *Column) MinMaxFloat() (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < c.Len(); i++ {
+		v, valid := c.AsFloat(i)
+		if !valid {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}

@@ -1,0 +1,108 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConcatStacksRows(t *testing.T) {
+	a := MustNewTable(
+		NewIntColumn("id", []int64{1, 2}, nil),
+		NewStringColumn("s", []string{"x", "y"}, nil),
+	)
+	b := MustNewTable(
+		NewStringColumn("s", []string{"z"}, []bool{false}), // different col order + a null
+		NewIntColumn("id", []int64{3}, nil),
+	)
+	got, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if got.Column("id").Int(2) != 3 {
+		t.Fatal("second table rows lost")
+	}
+	if !got.Column("s").IsNull(2) {
+		t.Fatal("null not preserved")
+	}
+	// first table's column order wins
+	if got.ColumnNames()[0] != "id" {
+		t.Fatal("column order wrong")
+	}
+}
+
+func TestConcatAllKinds(t *testing.T) {
+	mk := func() *Table {
+		return MustNewTable(
+			NewIntColumn("i", []int64{1}, nil),
+			NewFloatColumn("f", []float64{1.5}, nil),
+			NewStringColumn("s", []string{"a"}, nil),
+			NewBoolColumn("b", []bool{true}, nil),
+			NewTimeColumn("t", []int64{100}, nil),
+		)
+	}
+	got, err := Concat(mk(), mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 || got.Column("t").Int(2) != 100 || !got.Column("b").Bool(1) {
+		t.Fatal("concat lost values")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	if _, err := Concat(); err == nil {
+		t.Error("empty concat should fail")
+	}
+	a := MustNewTable(NewIntColumn("x", []int64{1}, nil))
+	missing := MustNewTable(NewIntColumn("y", []int64{1}, nil))
+	if _, err := Concat(a, missing); err == nil {
+		t.Error("missing column should fail")
+	}
+	wrongKind := MustNewTable(NewFloatColumn("x", []float64{1}, nil))
+	if _, err := Concat(a, wrongKind); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	extra := MustNewTable(NewIntColumn("x", []int64{1}, nil), NewIntColumn("y", []int64{1}, nil))
+	if _, err := Concat(a, extra); err == nil {
+		t.Error("extra columns should fail")
+	}
+}
+
+func TestDescribeNumericAndCategorical(t *testing.T) {
+	tbl := MustNewTable(
+		NewFloatColumn("x", []float64{1, 2, 3, 4, math.NaN()}, nil),
+		NewStringColumn("s", []string{"a", "b", "a", "", "c"}, []bool{true, true, true, false, true}),
+	)
+	sums := tbl.Describe()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	x := sums[0]
+	if x.Count != 4 || x.Nulls != 1 {
+		t.Fatalf("x counts = %d/%d", x.Count, x.Nulls)
+	}
+	if x.Min != 1 || x.Max != 4 || x.Mean != 2.5 || x.P50 != 3 {
+		t.Fatalf("x stats = %+v", x)
+	}
+	if math.Abs(x.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("x std = %v", x.Std)
+	}
+	if x.Distinct != -1 {
+		t.Fatal("numeric distinct should be -1")
+	}
+	s := sums[1]
+	if s.Count != 4 || s.Nulls != 1 || s.Distinct != 3 {
+		t.Fatalf("s summary = %+v", s)
+	}
+}
+
+func TestDescribeEmptyColumn(t *testing.T) {
+	tbl := MustNewTable(NewFloatColumn("x", []float64{0}, []bool{false}))
+	sums := tbl.Describe()
+	if sums[0].Count != 0 || sums[0].Nulls != 1 {
+		t.Fatalf("empty summary = %+v", sums[0])
+	}
+}

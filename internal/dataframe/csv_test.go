@@ -1,0 +1,86 @@
+package dataframe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVAllKinds(t *testing.T) {
+	in := "id,x,name,ok,ts,extra\n" +
+		"1,1.5,alice,true,2023-07-01T00:00:00Z,ignored\n" +
+		"2,,bob,false,1688169600,ignored\n"
+	tbl, err := ReadCSV(strings.NewReader(in), []ColumnSpec{
+		{"id", KindInt}, {"x", KindFloat}, {"name", KindString},
+		{"ok", KindBool}, {"ts", KindTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 || tbl.NumCols() != 5 {
+		t.Fatalf("shape %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Column("id").Int(1) != 2 {
+		t.Fatal("int parse")
+	}
+	if !tbl.Column("x").IsNull(1) {
+		t.Fatal("empty cell should be NULL")
+	}
+	if tbl.Column("ts").Int(0) != tbl.Column("ts").Int(1) {
+		t.Fatal("RFC3339 and unix forms of same instant should match")
+	}
+	if tbl.Column("ok").Bool(1) {
+		t.Fatal("bool parse")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty input should fail on header")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\n1\n"), []ColumnSpec{{"b", KindInt}}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nxx\n"), []ColumnSpec{{"a", KindInt}}); err == nil {
+		t.Fatal("bad int should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nxx\n"), []ColumnSpec{{"a", KindFloat}}); err == nil {
+		t.Fatal("bad float should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nxx\n"), []ColumnSpec{{"a", KindBool}}); err == nil {
+		t.Fatal("bad bool should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nnot-a-time\n"), []ColumnSpec{{"a", KindTime}}); err == nil {
+		t.Fatal("bad time should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := MustNewTable(
+		NewIntColumn("id", []int64{1, 2}, nil),
+		NewFloatColumn("x", []float64{1.25, 0}, []bool{true, false}),
+		NewStringColumn("s", []string{"a", "b"}, nil),
+		NewBoolColumn("b", []bool{true, false}, nil),
+		NewTimeColumn("ts", []int64{1688169600, 0}, []bool{true, true}),
+	)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, []ColumnSpec{
+		{"id", KindInt}, {"x", KindFloat}, {"s", KindString},
+		{"b", KindBool}, {"ts", KindTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	if back.Column("x").Float(0) != 1.25 || !back.Column("x").IsNull(1) {
+		t.Fatal("float round trip")
+	}
+	if back.Column("ts").Int(0) != 1688169600 {
+		t.Fatal("time round trip")
+	}
+}

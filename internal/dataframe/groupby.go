@@ -1,0 +1,145 @@
+package dataframe
+
+import "fmt"
+
+// Groups is the result of a group-by: each group holds the row indices of the
+// source table that share a key, plus one representative row for key output.
+type Groups struct {
+	src    *Table
+	keys   []*Column
+	order  []string // group keys in first-seen order
+	byKey  map[string][]int
+	sample map[string]int // representative row per key
+}
+
+// GroupBy partitions the table rows by the composite value of the named key
+// columns. NULL keys form their own group, matching SQL GROUP BY semantics.
+func (t *Table) GroupBy(keyCols ...string) (*Groups, error) {
+	cols, err := t.resolveColumns(keyCols)
+	if err != nil {
+		return nil, err
+	}
+	g := &Groups{
+		src:    t,
+		keys:   cols,
+		byKey:  map[string][]int{},
+		sample: map[string]int{},
+	}
+	for i := 0; i < t.nrows; i++ {
+		k := t.RowKey(i, cols)
+		if _, ok := g.byKey[k]; !ok {
+			g.order = append(g.order, k)
+			g.sample[k] = i
+		}
+		g.byKey[k] = append(g.byKey[k], i)
+	}
+	return g, nil
+}
+
+// NumGroups returns the number of distinct keys.
+func (g *Groups) NumGroups() int { return len(g.order) }
+
+// Each calls fn for every group in first-seen order with the group's source
+// row indices.
+func (g *Groups) Each(fn func(key string, rows []int)) {
+	for _, k := range g.order {
+		fn(k, g.byKey[k])
+	}
+}
+
+// Rows returns the row indices for a key, or nil.
+func (g *Groups) Rows(key string) []int { return g.byKey[key] }
+
+// AggSpec names one aggregation to compute per group: the source column, the
+// output column name, and a function from the group's values to a result.
+// The value slice passed to Fn contains only non-null values; n is the total
+// group size including nulls (needed by COUNT).
+type AggSpec struct {
+	Col string
+	As  string
+	Fn  func(values []float64, n int) (float64, bool)
+}
+
+// Aggregate computes one output row per group. The result table has the key
+// columns (original names) followed by one float column per spec.
+func (g *Groups) Aggregate(specs ...AggSpec) (*Table, error) {
+	ngroups := len(g.order)
+	// Key output columns: take the representative rows.
+	repr := make([]int, ngroups)
+	for i, k := range g.order {
+		repr[i] = g.sample[k]
+	}
+	out := &Table{index: map[string]int{}}
+	for _, kc := range g.keys {
+		if err := out.AddColumn(kc.Take(repr)); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range specs {
+		src := g.src.Column(spec.Col)
+		if src == nil {
+			return nil, fmt.Errorf("dataframe: aggregate: no column %q", spec.Col)
+		}
+		vals := make([]float64, ngroups)
+		valid := make([]bool, ngroups)
+		var buf []float64
+		for gi, k := range g.order {
+			rows := g.byKey[k]
+			buf = buf[:0]
+			for _, r := range rows {
+				if v, ok := src.AsFloat(r); ok {
+					buf = append(buf, v)
+				}
+			}
+			v, ok := spec.Fn(buf, len(rows))
+			vals[gi], valid[gi] = v, ok
+		}
+		name := spec.As
+		if name == "" {
+			name = spec.Col + "_agg"
+		}
+		if err := out.AddColumn(NewFloatColumn(name, vals, valid)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AggregateStrings is like Aggregate for string-valued aggregations (e.g.
+// MODE over a categorical column). Fn receives the non-null string values.
+func (g *Groups) AggregateStrings(col, as string, fn func(values []string) (float64, bool)) (*Table, error) {
+	src := g.src.Column(col)
+	if src == nil {
+		return nil, fmt.Errorf("dataframe: aggregate: no column %q", col)
+	}
+	if src.Kind() != KindString {
+		return nil, fmt.Errorf("dataframe: AggregateStrings on %s column %q", src.Kind(), col)
+	}
+	ngroups := len(g.order)
+	repr := make([]int, ngroups)
+	for i, k := range g.order {
+		repr[i] = g.sample[k]
+	}
+	out := &Table{index: map[string]int{}}
+	for _, kc := range g.keys {
+		if err := out.AddColumn(kc.Take(repr)); err != nil {
+			return nil, err
+		}
+	}
+	vals := make([]float64, ngroups)
+	valid := make([]bool, ngroups)
+	var buf []string
+	for gi, k := range g.order {
+		buf = buf[:0]
+		for _, r := range g.byKey[k] {
+			if !src.IsNull(r) {
+				buf = append(buf, src.Str(r))
+			}
+		}
+		vals[gi], valid[gi] = fn(buf)
+	}
+	if err := out.AddColumn(NewFloatColumn(as, vals, valid)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+)
+
+func logsTable(t *testing.T) *Table {
+	t.Helper()
+	return MustNewTable(
+		NewStringColumn("cname", []string{"alice", "bob", "alice", "bob", "alice"}, nil),
+		NewFloatColumn("pprice", []float64{10, 20, 30, math.NaN(), 50}, nil),
+		NewStringColumn("dept", []string{"elec", "food", "elec", "elec", "food"}, nil),
+	)
+}
+
+func TestGroupByCountsAndOrder(t *testing.T) {
+	logs := logsTable(t)
+	g, err := logs.GroupBy("cname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d", g.NumGroups())
+	}
+	var order []string
+	g.Each(func(key string, rows []int) { order = append(order, key) })
+	if order[0] != "salice" || order[1] != "sbob" {
+		t.Fatalf("first-seen order = %v", order)
+	}
+	if len(g.Rows("salice")) != 3 || len(g.Rows("sbob")) != 2 {
+		t.Fatal("group sizes wrong")
+	}
+	if g.Rows("ghost") != nil {
+		t.Fatal("missing key should give nil")
+	}
+}
+
+func TestGroupByUnknownColumn(t *testing.T) {
+	if _, err := logsTable(t).GroupBy("ghost"); err == nil {
+		t.Fatal("unknown key should fail")
+	}
+}
+
+func TestGroupByNullKeysFormOwnGroup(t *testing.T) {
+	tbl := MustNewTable(
+		NewStringColumn("k", []string{"a", "", "a"}, []bool{true, false, true}),
+		NewFloatColumn("v", []float64{1, 2, 3}, nil),
+	)
+	g, err := tbl.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d, want 2 (value group + NULL group)", g.NumGroups())
+	}
+}
+
+func TestAggregateSumAndCount(t *testing.T) {
+	logs := logsTable(t)
+	g, _ := logs.GroupBy("cname")
+	sum := func(v []float64, n int) (float64, bool) {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s, len(v) > 0
+	}
+	count := func(v []float64, n int) (float64, bool) { return float64(n), true }
+	out, err := g.Aggregate(
+		AggSpec{Col: "pprice", As: "total", Fn: sum},
+		AggSpec{Col: "pprice", As: "cnt", Fn: count},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	// alice: 10+30+50 = 90; bob: 20 (NaN excluded from sum but counted in n)
+	if out.Column("total").Float(0) != 90 || out.Column("total").Float(1) != 20 {
+		t.Fatalf("totals = %v %v", out.Column("total").Float(0), out.Column("total").Float(1))
+	}
+	if out.Column("cnt").Float(1) != 2 {
+		t.Fatal("COUNT should include null rows via n")
+	}
+	if out.Column("cname").Str(0) != "alice" {
+		t.Fatal("key column missing from output")
+	}
+}
+
+func TestAggregateDefaultsNameAndErrors(t *testing.T) {
+	logs := logsTable(t)
+	g, _ := logs.GroupBy("cname")
+	out, err := g.Aggregate(AggSpec{Col: "pprice", Fn: func(v []float64, n int) (float64, bool) { return 0, true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasColumn("pprice_agg") {
+		t.Fatal("default output name missing")
+	}
+	if _, err := g.Aggregate(AggSpec{Col: "ghost", Fn: nil}); err == nil {
+		t.Fatal("unknown agg column should fail")
+	}
+}
+
+func TestAggregateStringsMode(t *testing.T) {
+	logs := logsTable(t)
+	g, _ := logs.GroupBy("cname")
+	out, err := g.AggregateStrings("dept", "mode_code", func(vals []string) (float64, bool) {
+		if len(vals) == 0 {
+			return 0, false
+		}
+		counts := map[string]int{}
+		for _, v := range vals {
+			counts[v]++
+		}
+		best, bestN := "", -1
+		for v, n := range counts {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		return float64(len(best)), true // arbitrary numeric image for the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Column("mode_code").Float(0) != 4 { // alice mode "elec"
+		t.Fatalf("mode = %v", out.Column("mode_code").Float(0))
+	}
+	if _, err := g.AggregateStrings("pprice", "x", nil); err == nil {
+		t.Fatal("AggregateStrings on float column should fail")
+	}
+	if _, err := g.AggregateStrings("ghost", "x", nil); err == nil {
+		t.Fatal("AggregateStrings on missing column should fail")
+	}
+}
+
+func TestLeftJoinBasic(t *testing.T) {
+	users := MustNewTable(
+		NewStringColumn("cname", []string{"alice", "bob", "carol"}, nil),
+		NewIntColumn("age", []int64{30, 40, 50}, nil),
+	)
+	feats := MustNewTable(
+		NewStringColumn("cname", []string{"bob", "alice"}, nil),
+		NewFloatColumn("feat", []float64{2, 1}, nil),
+	)
+	out, err := users.LeftJoin(feats, []string{"cname"}, []string{"cname"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	f := out.Column("feat")
+	if f.Float(0) != 1 || f.Float(1) != 2 || !f.IsNull(2) {
+		t.Fatalf("feat = %v %v null=%v", f.Float(0), f.Float(1), f.IsNull(2))
+	}
+	// left columns preserved
+	if out.Column("age").Int(2) != 50 {
+		t.Fatal("left column lost")
+	}
+}
+
+func TestLeftJoinNameCollisionGetsSuffix(t *testing.T) {
+	left := MustNewTable(
+		NewStringColumn("k", []string{"a"}, nil),
+		NewFloatColumn("v", []float64{1}, nil),
+	)
+	right := MustNewTable(
+		NewStringColumn("k", []string{"a"}, nil),
+		NewFloatColumn("v", []float64{2}, nil),
+	)
+	out, err := left.LeftJoin(right, []string{"k"}, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasColumn("v_r") || out.Column("v_r").Float(0) != 2 {
+		t.Fatal("collision suffix missing")
+	}
+}
+
+func TestLeftJoinValidation(t *testing.T) {
+	tbl := logsTable(t)
+	if _, err := tbl.LeftJoin(tbl, nil, nil); err == nil {
+		t.Fatal("empty keys should fail")
+	}
+	if _, err := tbl.LeftJoin(tbl, []string{"cname"}, []string{"cname", "dept"}); err == nil {
+		t.Fatal("unequal key lists should fail")
+	}
+	if _, err := tbl.LeftJoin(tbl, []string{"ghost"}, []string{"cname"}); err == nil {
+		t.Fatal("unknown left key should fail")
+	}
+	if _, err := tbl.LeftJoin(tbl, []string{"cname"}, []string{"ghost"}); err == nil {
+		t.Fatal("unknown right key should fail")
+	}
+}
+
+func TestLeftJoinUsesFirstRightMatch(t *testing.T) {
+	left := MustNewTable(NewStringColumn("k", []string{"a"}, nil))
+	right := MustNewTable(
+		NewStringColumn("k", []string{"a", "a"}, nil),
+		NewFloatColumn("v", []float64{10, 20}, nil),
+	)
+	out, err := left.LeftJoin(right, []string{"k"}, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 || out.Column("v").Float(0) != 10 {
+		t.Fatal("should keep exactly the first right match")
+	}
+}
+
+func TestInnerJoinDropsMisses(t *testing.T) {
+	left := MustNewTable(
+		NewStringColumn("k", []string{"a", "b"}, nil),
+	)
+	right := MustNewTable(
+		NewStringColumn("k", []string{"a"}, nil),
+		NewFloatColumn("v", []float64{1}, nil),
+	)
+	out, err := left.InnerJoin(right, []string{"k"}, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 || out.Column("k").Str(0) != "a" {
+		t.Fatalf("inner join rows = %d", out.NumRows())
+	}
+	if _, err := left.InnerJoin(right, []string{"ghost"}, []string{"k"}); err == nil {
+		t.Fatal("unknown key should fail")
+	}
+}
+
+func TestCompositeKeyJoin(t *testing.T) {
+	left := MustNewTable(
+		NewIntColumn("u", []int64{1, 1, 2}, nil),
+		NewIntColumn("m", []int64{10, 20, 10}, nil),
+	)
+	right := MustNewTable(
+		NewIntColumn("u", []int64{1, 2}, nil),
+		NewIntColumn("m", []int64{20, 10}, nil),
+		NewFloatColumn("v", []float64{5, 7}, nil),
+	)
+	out, err := left.LeftJoin(right, []string{"u", "m"}, []string{"u", "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := out.Column("v")
+	if !v.IsNull(0) || v.Float(1) != 5 || v.Float(2) != 7 {
+		t.Fatal("composite key join wrong")
+	}
+}

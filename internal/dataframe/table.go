@@ -1,0 +1,263 @@
+package dataframe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is an ordered collection of equally sized columns.
+type Table struct {
+	cols  []*Column
+	index map[string]int
+	nrows int
+}
+
+// NewTable builds a table from columns, which must share a length and have
+// distinct names.
+func NewTable(cols ...*Column) (*Table, error) {
+	t := &Table{index: map[string]int{}}
+	for _, c := range cols {
+		if err := t.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable but panics on error; intended for tests and
+// generators with statically correct shapes.
+func MustNewTable(cols ...*Column) *Table {
+	t, err := NewTable(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the column list in declaration order. The slice is shared;
+// callers must not mutate it.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// ColumnNames returns the names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Column returns the named column or nil.
+func (t *Table) Column(name string) *Column {
+	if i, ok := t.index[name]; ok {
+		return t.cols[i]
+	}
+	return nil
+}
+
+// HasColumn reports whether a column with the given name exists.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.index[name]
+	return ok
+}
+
+// AddColumn appends a column. It fails on duplicate names or row-count
+// mismatches (except when the table is empty).
+func (t *Table) AddColumn(c *Column) error {
+	if _, ok := t.index[c.name]; ok {
+		return fmt.Errorf("dataframe: duplicate column %q", c.name)
+	}
+	if len(t.cols) > 0 && c.Len() != t.nrows {
+		return fmt.Errorf("dataframe: column %q has %d rows, table has %d", c.name, c.Len(), t.nrows)
+	}
+	if len(t.cols) == 0 {
+		t.nrows = c.Len()
+	}
+	t.index[c.name] = len(t.cols)
+	t.cols = append(t.cols, c)
+	return nil
+}
+
+// DropColumn removes the named column; it is a no-op when absent.
+func (t *Table) DropColumn(name string) {
+	i, ok := t.index[name]
+	if !ok {
+		return
+	}
+	t.cols = append(t.cols[:i], t.cols[i+1:]...)
+	delete(t.index, name)
+	for j := i; j < len(t.cols); j++ {
+		t.index[t.cols[j].name] = j
+	}
+	if len(t.cols) == 0 {
+		t.nrows = 0
+	}
+}
+
+// SelectColumns returns a new table sharing the named columns.
+func (t *Table) SelectColumns(names ...string) (*Table, error) {
+	out := &Table{index: map[string]int{}}
+	for _, n := range names {
+		c := t.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("dataframe: no column %q", n)
+		}
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Take returns a new table containing the rows listed in idx, in order.
+func (t *Table) Take(idx []int) *Table {
+	out := &Table{index: map[string]int{}, nrows: len(idx)}
+	for _, c := range t.cols {
+		taken := c.Take(idx)
+		out.index[taken.name] = len(out.cols)
+		out.cols = append(out.cols, taken)
+	}
+	return out
+}
+
+// Filter returns the rows for which keep returns true.
+func (t *Table) Filter(keep func(row int) bool) *Table {
+	var idx []int
+	for i := 0; i < t.nrows; i++ {
+		if keep(i) {
+			idx = append(idx, i)
+		}
+	}
+	return t.Take(idx)
+}
+
+// FilterMask returns the rows where mask[i] is true. The mask length must
+// equal the row count.
+func (t *Table) FilterMask(mask []bool) *Table {
+	idx := make([]int, 0, len(mask))
+	for i, m := range mask {
+		if m {
+			idx = append(idx, i)
+		}
+	}
+	return t.Take(idx)
+}
+
+// Head returns the first n rows (or fewer).
+func (t *Table) Head(n int) *Table {
+	if n > t.nrows {
+		n = t.nrows
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return t.Take(idx)
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	out := &Table{index: map[string]int{}, nrows: t.nrows}
+	for _, c := range t.cols {
+		cc := c.Clone()
+		out.index[cc.name] = len(out.cols)
+		out.cols = append(out.cols, cc)
+	}
+	return out
+}
+
+// SortBy returns a copy of the table sorted ascending by the named column;
+// NULLs sort last. Only numeric and string columns are supported.
+func (t *Table) SortBy(name string) (*Table, error) {
+	c := t.Column(name)
+	if c == nil {
+		return nil, fmt.Errorf("dataframe: no column %q", name)
+	}
+	idx := make([]int, t.nrows)
+	for i := range idx {
+		idx[i] = i
+	}
+	switch {
+	case c.kind.IsNumeric() || c.kind == KindBool:
+		sort.SliceStable(idx, func(a, b int) bool {
+			va, oka := c.AsFloat(idx[a])
+			vb, okb := c.AsFloat(idx[b])
+			if oka != okb {
+				return oka // non-null first
+			}
+			return va < vb
+		})
+	case c.kind == KindString:
+		sort.SliceStable(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			if c.valid[ia] != c.valid[ib] {
+				return c.valid[ia]
+			}
+			return c.strs[ia] < c.strs[ib]
+		})
+	default:
+		return nil, fmt.Errorf("dataframe: cannot sort by %s column %q", c.kind, name)
+	}
+	return t.Take(idx), nil
+}
+
+// RowKey builds the composite group/join key for a row over the given
+// columns.
+func (t *Table) RowKey(row int, cols []*Column) string {
+	var sb strings.Builder
+	for j, c := range cols {
+		if j > 0 {
+			sb.WriteByte('\x1f')
+		}
+		sb.WriteString(c.KeyString(row))
+	}
+	return sb.String()
+}
+
+// resolveColumns maps names to columns, failing on the first unknown name.
+func (t *Table) resolveColumns(names []string) ([]*Column, error) {
+	cols := make([]*Column, len(names))
+	for i, n := range names {
+		c := t.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("dataframe: no column %q", n)
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
+// String renders up to 10 rows for debugging.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.ColumnNames(), "\t"))
+	sb.WriteByte('\n')
+	n := t.nrows
+	if n > 10 {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		for j, c := range t.cols {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			if c.IsNull(i) {
+				sb.WriteString("NULL")
+			} else {
+				fmt.Fprintf(&sb, "%v", c.Value(i))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if t.nrows > n {
+		fmt.Fprintf(&sb, "... (%d rows)\n", t.nrows)
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package dataframe
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable(
+		NewIntColumn("id", []int64{1, 2, 3, 4}, nil),
+		NewFloatColumn("x", []float64{1.5, 2.5, 3.5, 4.5}, []bool{true, true, false, true}),
+		NewStringColumn("cat", []string{"a", "b", "a", "c"}, nil),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewTableRejectsDuplicatesAndMismatch(t *testing.T) {
+	_, err := NewTable(
+		NewIntColumn("a", []int64{1}, nil),
+		NewIntColumn("a", []int64{2}, nil),
+	)
+	if err == nil {
+		t.Fatal("duplicate names should fail")
+	}
+	_, err = NewTable(
+		NewIntColumn("a", []int64{1}, nil),
+		NewIntColumn("b", []int64{1, 2}, nil),
+	)
+	if err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestMustNewTablePanics(t *testing.T) {
+	mustPanic(t, func() {
+		MustNewTable(NewIntColumn("a", []int64{1}, nil), NewIntColumn("a", []int64{1}, nil))
+	})
+}
+
+func TestTableBasicAccessors(t *testing.T) {
+	tbl := sampleTable(t)
+	if tbl.NumRows() != 4 || tbl.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if got := tbl.ColumnNames(); strings.Join(got, ",") != "id,x,cat" {
+		t.Fatalf("names = %v", got)
+	}
+	if tbl.Column("x") == nil || tbl.Column("nope") != nil {
+		t.Fatal("Column lookup broken")
+	}
+	if !tbl.HasColumn("cat") || tbl.HasColumn("dog") {
+		t.Fatal("HasColumn broken")
+	}
+}
+
+func TestDropColumnReindexes(t *testing.T) {
+	tbl := sampleTable(t)
+	tbl.DropColumn("x")
+	if tbl.NumCols() != 2 || tbl.HasColumn("x") {
+		t.Fatal("drop failed")
+	}
+	if tbl.Column("cat").Str(0) != "a" {
+		t.Fatal("index not rebuilt")
+	}
+	tbl.DropColumn("missing") // no-op
+	if tbl.NumCols() != 2 {
+		t.Fatal("dropping missing column changed table")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	tbl := sampleTable(t)
+	sub, err := tbl.SelectColumns("cat", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCols() != 2 || sub.ColumnNames()[0] != "cat" {
+		t.Fatalf("select = %v", sub.ColumnNames())
+	}
+	if _, err := tbl.SelectColumns("ghost"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+}
+
+func TestTakeFilterHead(t *testing.T) {
+	tbl := sampleTable(t)
+	taken := tbl.Take([]int{3, 0})
+	if taken.NumRows() != 2 || taken.Column("id").Int(0) != 4 {
+		t.Fatal("Take broken")
+	}
+	f := tbl.Filter(func(row int) bool { return tbl.Column("cat").Str(row) == "a" })
+	if f.NumRows() != 2 {
+		t.Fatalf("Filter rows = %d", f.NumRows())
+	}
+	m := tbl.FilterMask([]bool{true, false, false, true})
+	if m.NumRows() != 2 || m.Column("id").Int(1) != 4 {
+		t.Fatal("FilterMask broken")
+	}
+	h := tbl.Head(2)
+	if h.NumRows() != 2 || h.Column("id").Int(1) != 2 {
+		t.Fatal("Head broken")
+	}
+	if tbl.Head(100).NumRows() != 4 {
+		t.Fatal("Head should clamp")
+	}
+}
+
+func TestCloneTableIsDeep(t *testing.T) {
+	tbl := sampleTable(t)
+	cp := tbl.Clone()
+	cp.Column("id").ints[0] = 99
+	if tbl.Column("id").Int(0) != 1 {
+		t.Fatal("Clone shares column storage")
+	}
+}
+
+func TestSortByNumericNullsLast(t *testing.T) {
+	tbl := sampleTable(t)
+	s, err := tbl.SortBy("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := s.Column("id")
+	// x: 1.5,2.5,NULL,4.5 → sorted ids 1,2,4 then null id=3 last
+	if ids.Int(0) != 1 || ids.Int(1) != 2 || ids.Int(2) != 4 || ids.Int(3) != 3 {
+		t.Fatalf("sorted ids = %d %d %d %d", ids.Int(0), ids.Int(1), ids.Int(2), ids.Int(3))
+	}
+}
+
+func TestSortByString(t *testing.T) {
+	tbl := sampleTable(t)
+	s, err := tbl.SortBy("cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Column("cat")
+	if c.Str(0) != "a" || c.Str(1) != "a" || c.Str(2) != "b" || c.Str(3) != "c" {
+		t.Fatal("string sort broken")
+	}
+	if _, err := tbl.SortBy("ghost"); err == nil {
+		t.Fatal("unknown sort column should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tbl := sampleTable(t)
+	out := tbl.String()
+	if !strings.Contains(out, "id\tx\tcat") || !strings.Contains(out, "NULL") {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+func TestStringRenderingTruncates(t *testing.T) {
+	n := 25
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tbl := MustNewTable(NewIntColumn("id", vals, nil))
+	if !strings.Contains(tbl.String(), "(25 rows)") {
+		t.Fatal("should mention total row count when truncated")
+	}
+}
+
+// Property: Filter(all-true) is identity on row count; Filter(all-false)
+// yields zero rows.
+func TestPropertyFilterExtremes(t *testing.T) {
+	f := func(vals []int64) bool {
+		tbl := MustNewTable(NewIntColumn("a", vals, nil))
+		all := tbl.Filter(func(int) bool { return true })
+		none := tbl.Filter(func(int) bool { return false })
+		return all.NumRows() == len(vals) && none.NumRows() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

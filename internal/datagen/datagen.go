@@ -1,0 +1,164 @@
+// Package datagen builds the synthetic stand-ins for the paper's six
+// evaluation datasets (Table I / Table IV). The real datasets are Kaggle /
+// Tianchi competition data that cannot be shipped; each generator reproduces
+// the relational *shape* of its original (schema, one-to-many key structure,
+// attribute types) at laptop scale and plants a predicate-dependent signal:
+// part of the label is only recoverable by aggregating the relevant table
+// under a WHERE clause (a recency window, a category filter, ...). That is
+// precisely the structure FeatAug exploits and Featuretools cannot, so the
+// qualitative ordering of the paper's tables is reproducible.
+//
+// All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataframe"
+	"repro/internal/ml"
+)
+
+// Dataset bundles everything an experiment needs: the training table D, the
+// relevant table R, the task, and the template ingredients of Table II.
+type Dataset struct {
+	Name     string
+	Train    *dataframe.Table
+	Relevant *dataframe.Table
+	Task     ml.Task
+	// Label is the label column name in Train.
+	Label string
+	// Keys are the foreign-key attributes (K in the template).
+	Keys []string
+	// AggAttrs are the aggregatable attributes of R (A).
+	AggAttrs []string
+	// PredAttrs are the attributes offered for WHERE clauses (attr).
+	PredAttrs []string
+	// BaseFeatures are the feature columns already present in Train.
+	BaseFeatures []string
+}
+
+// Options scale a generated dataset.
+type Options struct {
+	TrainRows int // 0 → generator default
+	// LogsPerKey is the mean number of relevant rows per training key.
+	LogsPerKey int // 0 → generator default
+	Seed       int64
+}
+
+func (o Options) withDefaults(trainRows, logsPerKey int) Options {
+	if o.TrainRows <= 0 {
+		o.TrainRows = trainRows
+	}
+	if o.LogsPerKey <= 0 {
+		o.LogsPerKey = logsPerKey
+	}
+	return o
+}
+
+// Generator builds one named dataset.
+type Generator func(Options) *Dataset
+
+// ByName maps dataset names to generators, covering the paper's Table I and
+// Table IV datasets.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "tmall":
+		return Tmall, nil
+	case "instacart":
+		return Instacart, nil
+	case "student":
+		return Student, nil
+	case "merchant":
+		return Merchant, nil
+	case "covtype":
+		return Covtype, nil
+	case "household":
+		return Household, nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// OneToManyNames lists the Table I datasets in paper order.
+func OneToManyNames() []string { return []string{"tmall", "instacart", "student", "merchant"} }
+
+// SingleTableNames lists the Table IV datasets.
+func SingleTableNames() []string { return []string{"covtype", "household"} }
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// poisson draws from Poisson(mean) via Knuth's algorithm (means here are
+// small).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// pick returns a random element.
+func pick(rng *rand.Rand, items []string) string { return items[rng.Intn(len(items))] }
+
+// WidenRelevant horizontally duplicates the aggregatable and predicate
+// attributes of a dataset's relevant table until it has at least targetCols
+// columns, the construction behind the paper's Student-Wide scalability sweep
+// (Figure 7). Duplicated columns get "_dupN" suffixes and are appended to
+// AggAttrs (but not PredAttrs, matching the experiment's intent of widening
+// R, not the template).
+func WidenRelevant(d *Dataset, targetCols int) *Dataset {
+	out := *d
+	out.Relevant = d.Relevant.Clone()
+	out.AggAttrs = append([]string(nil), d.AggAttrs...)
+	dup := 1
+	for out.Relevant.NumCols() < targetCols {
+		for _, name := range d.AggAttrs {
+			if out.Relevant.NumCols() >= targetCols {
+				break
+			}
+			src := out.Relevant.Column(name)
+			clone := src.Clone().Rename(fmt.Sprintf("%s_dup%d", name, dup))
+			if err := out.Relevant.AddColumn(clone); err != nil {
+				// Cannot happen: names are unique by construction.
+				panic(err)
+			}
+			out.AggAttrs = append(out.AggAttrs, clone.Name())
+		}
+		dup++
+	}
+	out.Name = d.Name + "-wide"
+	return &out
+}
+
+// SubsampleTrain returns a copy of the dataset with the training table cut to
+// the first n rows (Figure 8's row sweeps). The relevant table is untouched.
+func SubsampleTrain(d *Dataset, n int) *Dataset {
+	out := *d
+	out.Train = d.Train.Head(n)
+	return &out
+}
+
+// SubsampleRelevant returns a copy with the relevant table cut to its first n
+// rows (Figure 9's sweeps).
+func SubsampleRelevant(d *Dataset, n int) *Dataset {
+	out := *d
+	out.Relevant = d.Relevant.Head(n)
+	return &out
+}

@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataframe"
+	"repro/internal/ml"
+)
+
+// Covtype mirrors the UCI forest-cover dataset used in the paper's
+// single-table experiment (Table IV/VI): one wide numeric table, multiclass
+// label (7 cover types), and the table itself doubles as the relevant table
+// keyed by a row index. With a one-to-one key, aggregation degenerates to
+// projection and FeatAug's predicate search becomes a feature-construction /
+// selection problem, which is exactly how the paper uses it.
+//
+// The label is a noisy function of a handful of informative columns
+// (elevation bands, slope, hydrology distance interactions); the rest are
+// noise columns matching the original's 54 attributes.
+func Covtype(opts Options) *Dataset {
+	opts = opts.withDefaults(1500, 1)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.TrainRows
+
+	const numInformative = 6
+	const numNoise = 14 // 54 in the original; scaled for laptop runs
+	idx := make([]int64, n)
+	labels := make([]int64, n)
+	informative := make([][]float64, numInformative)
+	for j := range informative {
+		informative[j] = make([]float64, n)
+	}
+	noise := make([][]float64, numNoise)
+	for j := range noise {
+		noise[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		idx[i] = int64(i)
+		elevation := 1800 + rng.Float64()*1800
+		slope := rng.Float64() * 60
+		hydro := rng.Float64() * 1000
+		road := rng.Float64() * 5000
+		aspect := rng.Float64() * 360
+		shade := rng.Float64() * 255
+		informative[0][i] = elevation
+		informative[1][i] = slope
+		informative[2][i] = hydro
+		informative[3][i] = road
+		informative[4][i] = aspect
+		informative[5][i] = shade
+		for j := range noise {
+			noise[j][i] = rng.NormFloat64()
+		}
+		// Part of the signal is an *interaction*: elevation only matters on
+		// gentle slopes and hydrology distance only on south-facing aspects.
+		// A predicate-aware query (elevation WHERE slope <= 30) captures each
+		// interaction as a single feature, which is exactly the mechanism
+		// that lets FeatAug beat predicate-free enumeration on single-table
+		// data (the paper's Table VI LR results).
+		score := slope/30 - road/2500 + rng.NormFloat64()*0.7
+		if slope < 30 {
+			score += elevation / 600
+		}
+		if aspect < 180 {
+			score += hydro / 500
+		}
+		c := int64(score)
+		if c < 0 {
+			c = 0
+		}
+		if c > 6 {
+			c = 6
+		}
+		labels[i] = c
+	}
+
+	cols := []*dataframe.Column{dataframe.NewIntColumn("data_index", idx, nil)}
+	names := []string{"elevation", "slope", "hydro_dist", "road_dist", "aspect", "hillshade"}
+	aggAttrs := make([]string, 0, numInformative+numNoise)
+	for j, name := range names {
+		cols = append(cols, dataframe.NewFloatColumn(name, informative[j], nil))
+		aggAttrs = append(aggAttrs, name)
+	}
+	for j := range noise {
+		name := fmt.Sprintf("soil_%02d", j)
+		cols = append(cols, dataframe.NewFloatColumn(name, noise[j], nil))
+		aggAttrs = append(aggAttrs, name)
+	}
+	full := dataframe.MustNewTable(cols...)
+
+	// Training table: index + label only; everything else lives in the
+	// "relevant" copy, matching "we take itself as the relevant table".
+	train := dataframe.MustNewTable(
+		dataframe.NewIntColumn("data_index", idx, nil),
+		dataframe.NewIntColumn("label", labels, nil),
+	)
+	return &Dataset{
+		Name:         "covtype",
+		Train:        train,
+		Relevant:     full,
+		Task:         ml.MultiClass,
+		Label:        "label",
+		Keys:         []string{"data_index"},
+		AggAttrs:     aggAttrs,
+		PredAttrs:    []string{"elevation", "slope", "hydro_dist", "road_dist", "aspect", "hillshade", "soil_00", "soil_01", "soil_02", "soil_03"},
+		BaseFeatures: nil,
+	}
+}
+
+// Household mirrors the Costa-Rican household poverty dataset: a one-to-one
+// relationship where 5 base features stay in the training table and the
+// remaining observable attributes move to the relevant table, keyed by
+// data_index; the label is the 4-level poverty class.
+func Household(opts Options) *Dataset {
+	opts = opts.withDefaults(1200, 1)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.TrainRows
+
+	idx := make([]int64, n)
+	labels := make([]int64, n)
+
+	base := make([][]float64, 5)
+	for j := range base {
+		base[j] = make([]float64, n)
+	}
+	const numExtra = 24 // 137 in the original; scaled for laptop runs
+	extra := make([][]float64, numExtra)
+	for j := range extra {
+		extra[j] = make([]float64, n)
+	}
+
+	for i := 0; i < n; i++ {
+		idx[i] = int64(i)
+		rooms := float64(1 + rng.Intn(8))
+		adults := float64(1 + rng.Intn(5))
+		children := float64(rng.Intn(5))
+		schooling := rng.Float64() * 20
+		urban := float64(rng.Intn(2))
+		base[0][i], base[1][i], base[2][i], base[3][i], base[4][i] = rooms, adults, children, schooling, urban
+
+		income := rng.ExpFloat64() * 300
+		assets := rng.Float64() * 10
+		rent := rng.ExpFloat64() * 100
+		extra[0][i] = income
+		extra[1][i] = assets
+		extra[2][i] = rent
+		for j := 3; j < numExtra; j++ {
+			extra[j][i] = rng.NormFloat64()
+		}
+		// The income and rent effects are gated by other relevant attributes
+		// (interactions), so predicate-aware queries like
+		// (income WHERE assets >= 5) carry more signal than raw columns.
+		score := schooling/8 - children/2 + rng.NormFloat64()*0.6
+		if assets > 5 {
+			score += income / 100
+		}
+		if extra[3][i] > 0 {
+			score -= rent / 100
+		}
+		c := int64(score)
+		if c < 0 {
+			c = 0
+		}
+		if c > 3 {
+			c = 3
+		}
+		labels[i] = c
+	}
+
+	trainCols := []*dataframe.Column{
+		dataframe.NewIntColumn("data_index", idx, nil),
+		dataframe.NewFloatColumn("rooms", base[0], nil),
+		dataframe.NewFloatColumn("adults", base[1], nil),
+		dataframe.NewFloatColumn("children", base[2], nil),
+		dataframe.NewFloatColumn("schooling", base[3], nil),
+		dataframe.NewFloatColumn("urban", base[4], nil),
+		dataframe.NewIntColumn("label", labels, nil),
+	}
+	relCols := []*dataframe.Column{dataframe.NewIntColumn("data_index", idx, nil)}
+	aggAttrs := make([]string, 0, numExtra)
+	for j := range extra {
+		var name string
+		switch j {
+		case 0:
+			name = "income"
+		case 1:
+			name = "assets"
+		case 2:
+			name = "rent"
+		default:
+			name = fmt.Sprintf("attr_%02d", j)
+		}
+		relCols = append(relCols, dataframe.NewFloatColumn(name, extra[j], nil))
+		aggAttrs = append(aggAttrs, name)
+	}
+	return &Dataset{
+		Name:         "household",
+		Train:        dataframe.MustNewTable(trainCols...),
+		Relevant:     dataframe.MustNewTable(relCols...),
+		Task:         ml.MultiClass,
+		Label:        "label",
+		Keys:         []string{"data_index"},
+		AggAttrs:     aggAttrs,
+		PredAttrs:    aggAttrs[:8],
+		BaseFeatures: []string{"rooms", "adults", "children", "schooling", "urban"},
+	}
+}

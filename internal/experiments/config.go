@@ -1,0 +1,243 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic datasets: Table I/II (dataset and
+// template statistics), Table III (one-to-many overall comparison), Table VI
+// (single-table / one-to-one comparison), Table VII (ablation), Table VIII
+// (proxy sweep), Figure 5 (QTI optimisation ablation), Figure 6 (number of
+// query templates), and Figures 7–9 (scalability sweeps). Budgets are scaled
+// to laptop size but every knob is exposed so runs can be scaled up.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/agg"
+	"repro/internal/datagen"
+	"repro/internal/feataug"
+	"repro/internal/hpo"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+)
+
+// Config scales an experiment run. Zero values select fast defaults; the
+// paper-faithful budgets are noted per field.
+type Config struct {
+	// TrainRows scales every generated training table (paper: 6k–37k).
+	TrainRows int
+	// LogsPerKey scales the relevant tables (paper: 1.6M–7.8M rows total).
+	LogsPerKey int
+	// Reps is the number of repetitions averaged (paper: 5).
+	Reps int
+	// Seed is the base seed; repetition r uses Seed+r.
+	Seed int64
+	// NumFeatures is the per-method feature budget (paper: 40).
+	NumFeatures int
+	// NumTemplates × QueriesPerTemplate should equal NumFeatures for
+	// FeatAug/Random (paper: 8 × 5).
+	NumTemplates       int
+	QueriesPerTemplate int
+	// Funcs is the aggregation set (paper: the 15 of Table II). Experiments
+	// default to agg.Basic() for speed; pass agg.All() to match the paper.
+	Funcs []agg.Func
+	// FeatAug search budgets (see feataug.Config).
+	WarmupIters, WarmupTopK, GenIters, TemplateProxyIters int
+	BeamWidth, MaxDepth                                   int
+	// Models to evaluate; nil → paper's four (LR, XGB, RF, DeepFM).
+	Models []ml.Kind
+	// Datasets to run; nil → the experiment's paper set.
+	Datasets []string
+	// MaxSelectorCandidates caps the DFS pool fed to the expensive wrapper
+	// selectors (Forward/Backward); 0 = no cap.
+	MaxSelectorCandidates int
+	// Parallel bounds concurrent experiment cells (each cell is
+	// independently seeded, so results are unchanged). 0 → GOMAXPROCS,
+	// 1 → sequential.
+	Parallel int
+	// Out receives the rendered report; nil discards it.
+	Out io.Writer
+}
+
+func (c Config) normalized() Config {
+	if c.TrainRows <= 0 {
+		c.TrainRows = 400
+	}
+	if c.LogsPerKey <= 0 {
+		c.LogsPerKey = 8
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NumFeatures <= 0 {
+		c.NumFeatures = 8
+	}
+	if c.NumTemplates <= 0 {
+		c.NumTemplates = 4
+	}
+	if c.QueriesPerTemplate <= 0 {
+		c.QueriesPerTemplate = 2
+	}
+	if c.Funcs == nil {
+		c.Funcs = agg.Basic()
+	}
+	if c.WarmupIters <= 0 {
+		c.WarmupIters = 25
+	}
+	if c.WarmupTopK <= 0 {
+		c.WarmupTopK = 6
+	}
+	if c.GenIters <= 0 {
+		c.GenIters = 8
+	}
+	if c.TemplateProxyIters <= 0 {
+		c.TemplateProxyIters = 10
+	}
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 2
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 2
+	}
+	if c.Models == nil {
+		c.Models = ml.AllKinds()
+	}
+	if c.MaxSelectorCandidates <= 0 {
+		c.MaxSelectorCandidates = 16
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// feataugConfig maps the experiment knobs onto the engine config.
+func (c Config) feataugConfig(seed int64) feataug.Config {
+	return feataug.Config{
+		Seed:               seed,
+		WarmupIters:        c.WarmupIters,
+		WarmupTopK:         c.WarmupTopK,
+		GenIters:           c.GenIters,
+		NumTemplates:       c.NumTemplates,
+		QueriesPerTemplate: c.QueriesPerTemplate,
+		BeamWidth:          c.BeamWidth,
+		MaxDepth:           c.MaxDepth,
+		TemplateProxyIters: c.TemplateProxyIters,
+		TPE:                hpo.TPEOptions{},
+		Space:              query.SpaceOptions{},
+	}
+}
+
+// problem converts a generated dataset into an evaluation problem.
+func problem(d *datagen.Dataset) pipeline.Problem {
+	return pipeline.Problem{
+		Train: d.Train, Relevant: d.Relevant, Label: d.Label, Task: d.Task,
+		Keys: d.Keys, AggAttrs: d.AggAttrs, PredAttrs: d.PredAttrs,
+		BaseFeatures: d.BaseFeatures,
+	}
+}
+
+// generate builds a dataset by name at the configured scale.
+func (c Config) generate(name string, rep int) (*datagen.Dataset, error) {
+	gen, err := datagen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return gen(datagen.Options{
+		TrainRows:  c.TrainRows,
+		LogsPerKey: c.LogsPerKey,
+		Seed:       c.Seed + int64(rep)*1000,
+	}), nil
+}
+
+// modelsFor filters the configured models by task support (DeepFM is
+// binary-only).
+func (c Config) modelsFor(task ml.Task) []ml.Kind {
+	var out []ml.Kind
+	for _, k := range c.Models {
+		if k == ml.KindDeepFM && task != ml.Binary {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Cell is one reported number: dataset × model × method.
+type Cell struct {
+	Dataset string
+	Model   ml.Kind
+	Method  string
+	Metric  float64 // task metric on the test split (paper's table cells)
+	Valid   float64 // validation metric
+	Seconds float64 // wall time of the method, when measured
+}
+
+// meanCells averages cells across repetitions grouped by
+// (dataset, model, method).
+func meanCells(cells []Cell) []Cell {
+	type key struct {
+		d, m string
+		k    ml.Kind
+	}
+	order := []key{}
+	sums := map[key]*Cell{}
+	counts := map[key]int{}
+	for _, c := range cells {
+		k := key{c.Dataset, c.Method, c.Model}
+		if _, ok := sums[k]; !ok {
+			cc := c
+			cc.Metric, cc.Valid, cc.Seconds = 0, 0, 0
+			sums[k] = &cc
+			order = append(order, k)
+		}
+		sums[k].Metric += c.Metric
+		sums[k].Valid += c.Valid
+		sums[k].Seconds += c.Seconds
+		counts[k]++
+	}
+	out := make([]Cell, 0, len(order))
+	for _, k := range order {
+		c := *sums[k]
+		n := float64(counts[k])
+		c.Metric /= n
+		c.Valid /= n
+		c.Seconds /= n
+		out = append(out, c)
+	}
+	return out
+}
+
+// fprintlnf writes one formatted line, ignoring write errors (reports are
+// best-effort diagnostics).
+func fprintlnf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// ToResultRows converts comparison cells into archive records for the
+// results package.
+func ToResultRows(cells []Cell) []ResultRow {
+	out := make([]ResultRow, len(cells))
+	for i, c := range cells {
+		out[i] = ResultRow{
+			Dataset: c.Dataset,
+			Model:   c.Model.String(),
+			Method:  c.Method,
+			Metric:  c.Metric,
+			Seconds: c.Seconds,
+		}
+	}
+	return out
+}
+
+// ResultRow mirrors results.Row without importing it (keeps the experiments
+// package free of persistence concerns); cmd/feataug adapts between them.
+type ResultRow struct {
+	Dataset string
+	Model   string
+	Method  string
+	Metric  float64
+	Seconds float64
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/ml"
+)
+
+// tiny returns a configuration small enough that a full experiment completes
+// in well under a second per cell.
+func tiny() Config {
+	return Config{
+		TrainRows:             150,
+		LogsPerKey:            5,
+		Reps:                  1,
+		Seed:                  3,
+		NumFeatures:           3,
+		NumTemplates:          2,
+		QueriesPerTemplate:    2,
+		Funcs:                 agg.Basic(),
+		WarmupIters:           8,
+		WarmupTopK:            3,
+		GenIters:              3,
+		TemplateProxyIters:    4,
+		BeamWidth:             1,
+		MaxDepth:              2,
+		Models:                []ml.Kind{ml.KindLR},
+		MaxSelectorCandidates: 6,
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	cells, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6 datasets", len(cells))
+	}
+	if !strings.Contains(buf.String(), "tmall") {
+		t.Fatal("report missing dataset row")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	cells, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if !strings.Contains(buf.String(), "#T=2^attr") {
+		t.Fatal("report missing template count column")
+	}
+}
+
+func TestRunTable3SingleDataset(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	cfg.Datasets = []string{"tmall"}
+	cells, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 methods × 1 model × 1 dataset.
+	if len(cells) != 10 {
+		t.Fatalf("cells = %d, want 10", len(cells))
+	}
+	found := map[string]bool{}
+	for _, c := range cells {
+		found[c.Method] = true
+		if c.Metric <= 0 || c.Metric > 1 {
+			t.Errorf("%s metric %v out of AUC range", c.Method, c.Metric)
+		}
+	}
+	for _, m := range Table3Methods() {
+		if !found[m] {
+			t.Errorf("method %s missing", m)
+		}
+	}
+	if !strings.Contains(buf.String(), "FeatAug") {
+		t.Fatal("report missing FeatAug row")
+	}
+}
+
+func TestRunTable3RegressionSkipsChi2Gini(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"merchant"}
+	cells, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Method == MethodFTChi2 || c.Method == MethodFTGini {
+			t.Fatalf("%s should be skipped on regression", c.Method)
+		}
+	}
+}
+
+func TestRunTable6(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"household"}
+	cells, err := RunTable6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table VI uses only the traditional models; tiny() sets Models=[LR] but
+	// RunTable6 overrides with the 3 traditional kinds.
+	byMethod := map[string]int{}
+	for _, c := range cells {
+		byMethod[c.Method]++
+		if c.Model == ml.KindDeepFM {
+			t.Fatal("DeepFM must not appear in Table VI")
+		}
+	}
+	for _, m := range []string{MethodARDA, MethodAutoFeatMAB, MethodAutoFeatDQN, MethodFeatAug} {
+		if byMethod[m] == 0 {
+			t.Errorf("method %s missing", m)
+		}
+	}
+}
+
+func TestRunTable7Ablation(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"instacart"}
+	cells, err := RunTable7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3 variants", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		names[c.Method] = true
+	}
+	for _, want := range []string{"FeatAug(NoQTI)", "FeatAug(NoWU)", "FeatAug(Full)"} {
+		if !names[want] {
+			t.Errorf("variant %s missing", want)
+		}
+	}
+}
+
+func TestRunTable8Proxies(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"student"}
+	cells, err := RunTable8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3 proxies", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		names[c.Method] = true
+	}
+	for _, want := range []string{"FeatAug-SC", "FeatAug-MI", "FeatAug-LR"} {
+		if !names[want] {
+			t.Errorf("proxy %s missing", want)
+		}
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"tmall"}
+	rows, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 variants", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds < 0 || r.Metric <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"tmall"}
+	rows, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // sweep 1,2,4,6,8
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NumTemplates <= rows[i-1].NumTemplates {
+			t.Fatal("sweep should be increasing")
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	cfg := tiny()
+	rows, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 sweep points", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total() <= 0 {
+			t.Errorf("zero total time at x=%d", r.X)
+		}
+		if !strings.Contains(r.Dataset, "wide") {
+			t.Errorf("dataset = %s, want student-wide", r.Dataset)
+		}
+	}
+}
+
+func TestRunFig8AndFig9(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"merchant"}
+	rows, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig8 rows = %d", len(rows))
+	}
+	rows9, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows9) != 4 {
+		t.Fatalf("fig9 rows = %d", len(rows9))
+	}
+}
+
+func TestMeanCellsAverages(t *testing.T) {
+	cells := []Cell{
+		{Dataset: "a", Model: ml.KindLR, Method: "m", Metric: 0.4, Valid: 0.5, Seconds: 1},
+		{Dataset: "a", Model: ml.KindLR, Method: "m", Metric: 0.6, Valid: 0.7, Seconds: 3},
+		{Dataset: "b", Model: ml.KindLR, Method: "m", Metric: 1.0},
+	}
+	got := meanCells(cells)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	if got[0].Metric != 0.5 || got[0].Valid != 0.6 || got[0].Seconds != 2 {
+		t.Fatalf("mean = %+v", got[0])
+	}
+}
+
+func TestMethodSupportsTask(t *testing.T) {
+	if MethodSupportsTask(MethodFTChi2, ml.Regression) {
+		t.Error("Chi2 should not support regression")
+	}
+	if !MethodSupportsTask(MethodFeatAug, ml.Regression) {
+		t.Error("FeatAug supports regression")
+	}
+	if !MethodSupportsTask(MethodRandom, ml.MultiClass) {
+		t.Error("Random supports multiclass")
+	}
+}
+
+func TestUnknownDatasetPropagates(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"nope"}
+	if _, err := RunTable3(cfg); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if _, err := RunTable1(cfg); err == nil {
+		t.Fatal("unknown dataset should fail in table1")
+	}
+}
+
+func TestUnknownMethodFails(t *testing.T) {
+	cfg := tiny().normalized()
+	d, err := cfg.generate("tmall", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := newEvalForTest(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.runMethod(ev, "nope", 1); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := tiny()
+	seq.Datasets = []string{"tmall"}
+	seq.Parallel = 1
+	a, err := RunTable3(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tiny()
+	par.Datasets = []string{"tmall"}
+	par.Parallel = 4
+	b, err := RunTable3(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Method != b[i].Method || a[i].Metric != b[i].Metric {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunJobsPanicRecovered(t *testing.T) {
+	jobs := []job{
+		func() (Cell, error) { return Cell{Method: "ok"}, nil },
+		func() (Cell, error) { panic("boom") },
+	}
+	if _, err := runJobs(2, jobs); err == nil {
+		t.Fatal("panicking job should surface as error")
+	}
+}
+
+func TestRunJobsSequentialError(t *testing.T) {
+	jobs := []job{
+		func() (Cell, error) { return Cell{}, errBoom },
+	}
+	if _, err := runJobs(1, jobs); err == nil {
+		t.Fatal("error should propagate")
+	}
+}
+
+func TestToResultRows(t *testing.T) {
+	cells := []Cell{{Dataset: "d", Model: ml.KindXGB, Method: "m", Metric: 0.5, Seconds: 1.5}}
+	rows := ToResultRows(cells)
+	if len(rows) != 1 || rows[0].Model != "XGB" || rows[0].Metric != 0.5 || rows[0].Seconds != 1.5 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestConfigNormalizedDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.TrainRows != 400 || c.Reps != 1 || c.Seed != 1 || c.NumFeatures != 8 ||
+		c.NumTemplates != 4 || c.WarmupIters != 25 || c.MaxDepth != 2 ||
+		len(c.Models) != 4 || c.MaxSelectorCandidates != 16 || c.Out == nil {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if len(c.Funcs) != 5 {
+		t.Fatal("default funcs should be Basic (5)")
+	}
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/feataug"
+	"repro/internal/pipeline"
+)
+
+// Fig5Row is one series point of Figure 5: a QTI variant's wall time and the
+// end-to-end metric it achieves.
+type Fig5Row struct {
+	Dataset string
+	Variant string // "QTI w/o Opt1,2" | "QTI w/o Opt2" | "QTI with All Opts"
+	Model   string
+	Seconds float64
+	Metric  float64
+}
+
+// RunFig5 regenerates Figure 5: the QTI optimisation ablation. Variant (a)
+// disables both the low-cost proxy and the predictor (the paper's
+// cannot-finish-in-6h configuration — here it finishes because everything is
+// scaled down, but it is by far the slowest), variant (b) keeps the proxy
+// but evaluates every node, variant (c) runs both optimisations.
+func RunFig5(cfg Config) ([]Fig5Row, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = datagen.OneToManyNames()
+	}
+	variants := []struct {
+		name   string
+		mutate func(*feataug.Config)
+	}{
+		{"QTI w/o Opt1,2", func(fc *feataug.Config) { fc.DisableProxyOpt = true; fc.DisablePredictor = true }},
+		{"QTI w/o Opt2", func(fc *feataug.Config) { fc.DisablePredictor = true }},
+		{"QTI with All Opts", func(fc *feataug.Config) {}},
+	}
+	var rows []Fig5Row
+	fprintlnf(cfg.Out, "Figure 5: QTI optimisation ablation")
+	fprintlnf(cfg.Out, "%-10s %-8s %-20s %10s %10s", "Dataset", "Model", "Variant", "QTI secs", "Metric")
+	for _, name := range names {
+		d, err := cfg.generate(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		p := problem(d)
+		for _, kind := range cfg.modelsFor(d.Task) {
+			for _, v := range variants {
+				ev, err := pipeline.NewEvaluator(p, kind, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				fc := cfg.feataugConfig(cfg.Seed)
+				v.mutate(&fc)
+				engine := feataug.NewEngine(ev, cfg.Funcs, fc)
+				res, err := engine.Run()
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %s/%s/%s: %w", name, kind, v.name, err)
+				}
+				_, test, err := ev.QuerySetScores(res.QueryList())
+				if err != nil {
+					return nil, err
+				}
+				row := Fig5Row{
+					Dataset: name, Variant: v.name, Model: kind.String(),
+					Seconds: res.Timing.QTI.Seconds(), Metric: test,
+				}
+				rows = append(rows, row)
+				fprintlnf(cfg.Out, "%-10s %-8s %-20s %10.3f %10.4f",
+					row.Dataset, row.Model, row.Variant, row.Seconds, row.Metric)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one point of Figure 6: metric as a function of the number of
+// query templates.
+type Fig6Row struct {
+	Dataset      string
+	Model        string
+	NumTemplates int
+	Metric       float64
+}
+
+// RunFig6 regenerates Figure 6: the performance trend when the number of
+// query templates n varies (paper sweeps 1..8).
+func RunFig6(cfg Config) ([]Fig6Row, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = datagen.OneToManyNames()
+	}
+	sweep := []int{1, 2, 4, 6, 8}
+	var rows []Fig6Row
+	fprintlnf(cfg.Out, "Figure 6: metric vs number of query templates")
+	fprintlnf(cfg.Out, "%-10s %-8s %12s %10s", "Dataset", "Model", "#templates", "Metric")
+	for _, name := range names {
+		d, err := cfg.generate(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		p := problem(d)
+		for _, kind := range cfg.modelsFor(d.Task) {
+			for _, n := range sweep {
+				ev, err := pipeline.NewEvaluator(p, kind, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				fc := cfg.feataugConfig(cfg.Seed)
+				fc.NumTemplates = n
+				engine := feataug.NewEngine(ev, cfg.Funcs, fc)
+				res, err := engine.Run()
+				if err != nil {
+					return nil, fmt.Errorf("fig6 %s/%s/n=%d: %w", name, kind, n, err)
+				}
+				_, test, err := ev.QuerySetScores(res.QueryList())
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig6Row{Dataset: name, Model: kind.String(), NumTemplates: n, Metric: test})
+				fprintlnf(cfg.Out, "%-10s %-8s %12d %10.4f", name, kind, n, test)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ScaleRow is one point of the scalability figures (7, 8 and 9): the phase
+// breakdown of FeatAug's running time at one sweep setting.
+type ScaleRow struct {
+	Dataset  string
+	Model    string
+	X        int // the swept quantity (#cols or #rows)
+	QTI      float64
+	Warmup   float64
+	Generate float64
+}
+
+// Total returns the summed running time in seconds.
+func (r ScaleRow) Total() float64 { return r.QTI + r.Warmup + r.Generate }
+
+// RunFig7 regenerates Figure 7: running time vs the number of columns in the
+// relevant table, on the horizontally duplicated Student-Wide dataset.
+func RunFig7(cfg Config) ([]ScaleRow, error) {
+	cfg = cfg.normalized()
+	base := datagen.Student(datagen.Options{TrainRows: cfg.TrainRows, LogsPerKey: cfg.LogsPerKey, Seed: cfg.Seed})
+	sweep := []int{10, 20, 40, 60}
+	return cfg.runScaleSweep("Figure 7: running time vs #cols in R (student-wide)", sweep,
+		func(x int) *datagen.Dataset { return datagen.WidenRelevant(base, x) })
+}
+
+// RunFig8 regenerates Figure 8: running time vs the number of rows in the
+// training table.
+func RunFig8(cfg Config) ([]ScaleRow, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = []string{"merchant"} // the paper's in-text exemplar
+	}
+	var rows []ScaleRow
+	for _, name := range names {
+		big := cfg
+		big.TrainRows = cfg.TrainRows * 2
+		d, err := big.generate(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		sweep := []int{cfg.TrainRows / 2, cfg.TrainRows, cfg.TrainRows * 3 / 2, cfg.TrainRows * 2}
+		got, err := cfg.runScaleSweep(
+			fmt.Sprintf("Figure 8: running time vs #rows in D (%s)", name), sweep,
+			func(x int) *datagen.Dataset { return datagen.SubsampleTrain(d, x) })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, got...)
+	}
+	return rows, nil
+}
+
+// RunFig9 regenerates Figure 9: running time vs the number of rows in the
+// relevant table.
+func RunFig9(cfg Config) ([]ScaleRow, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = []string{"student", "merchant"} // the paper's two exemplars
+	}
+	var rows []ScaleRow
+	for _, name := range names {
+		big := cfg
+		big.LogsPerKey = cfg.LogsPerKey * 2
+		d, err := big.generate(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		total := d.Relevant.NumRows()
+		sweep := []int{total / 4, total / 2, 3 * total / 4, total}
+		got, err := cfg.runScaleSweep(
+			fmt.Sprintf("Figure 9: running time vs #rows in R (%s)", name), sweep,
+			func(x int) *datagen.Dataset { return datagen.SubsampleRelevant(d, x) })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, got...)
+	}
+	return rows, nil
+}
+
+// runScaleSweep runs FeatAug at every sweep point and records the per-phase
+// time split.
+func (c Config) runScaleSweep(title string, sweep []int, build func(x int) *datagen.Dataset) ([]ScaleRow, error) {
+	fprintlnf(c.Out, "%s", title)
+	fprintlnf(c.Out, "%-10s %-8s %8s %10s %10s %10s %10s", "Dataset", "Model", "X", "QTI s", "Warmup s", "Gen s", "Total s")
+	var rows []ScaleRow
+	for _, x := range sweep {
+		d := build(x)
+		p := problem(d)
+		for _, kind := range c.modelsFor(d.Task) {
+			ev, err := pipeline.NewEvaluator(p, kind, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			engine := feataug.NewEngine(ev, c.Funcs, c.feataugConfig(c.Seed))
+			res, err := engine.Run()
+			if err != nil {
+				return nil, fmt.Errorf("scale sweep %s x=%d: %w", d.Name, x, err)
+			}
+			row := ScaleRow{
+				Dataset: d.Name, Model: kind.String(), X: x,
+				QTI:      res.Timing.QTI.Seconds(),
+				Warmup:   res.Timing.Warmup.Seconds(),
+				Generate: res.Timing.Generate.Seconds(),
+			}
+			rows = append(rows, row)
+			fprintlnf(c.Out, "%-10s %-8s %8d %10.3f %10.3f %10.3f %10.3f",
+				row.Dataset, row.Model, row.X, row.QTI, row.Warmup, row.Generate, row.Total())
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+)
+
+// newEvalForTest builds an evaluator the way the runners do.
+func newEvalForTest(cfg Config, d *datagen.Dataset) (*pipeline.Evaluator, error) {
+	return pipeline.NewEvaluator(problem(d), ml.KindLR, cfg.Seed)
+}
+
+// errBoom is a sentinel for error-propagation tests.
+var errBoom = fmt.Errorf("boom")

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/feataug"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+)
+
+// Method names as they appear in the paper's tables.
+const (
+	MethodFT          = "FT"
+	MethodFTLR        = "FT+LR"
+	MethodFTGBDT      = "FT+GBDT"
+	MethodFTMI        = "FT+MI"
+	MethodFTChi2      = "FT+Chi2"
+	MethodFTGini      = "FT+Gini"
+	MethodFTForward   = "FT+Forward"
+	MethodFTBackward  = "FT+Backward"
+	MethodRandom      = "Random"
+	MethodFeatAug     = "FeatAug"
+	MethodARDA        = "ARDA"
+	MethodAutoFeatMAB = "AutoFeat-MAB"
+	MethodAutoFeatDQN = "AutoFeat-DQN"
+)
+
+// Table3Methods is the comparison set of Table III (one-to-many datasets).
+func Table3Methods() []string {
+	return []string{
+		MethodFT, MethodFTLR, MethodFTGBDT, MethodFTMI, MethodFTChi2,
+		MethodFTGini, MethodFTForward, MethodFTBackward, MethodRandom, MethodFeatAug,
+	}
+}
+
+// Table6Methods is the comparison set of Table VI (single-table / one-to-one
+// datasets). Forward/Backward are omitted exactly as in the paper's Table VI.
+func Table6Methods() []string {
+	return []string{
+		MethodFT, MethodFTLR, MethodFTGBDT, MethodFTMI, MethodFTChi2,
+		MethodFTGini, MethodARDA, MethodAutoFeatMAB, MethodAutoFeatDQN,
+		MethodRandom, MethodFeatAug,
+	}
+}
+
+// selectorByMethod maps FT+X method names to selector kinds.
+func selectorByMethod(method string) (baselines.SelectorKind, bool) {
+	switch method {
+	case MethodFT:
+		return baselines.SelectorNone, true
+	case MethodFTLR:
+		return baselines.SelectorLR, true
+	case MethodFTGBDT:
+		return baselines.SelectorGBDT, true
+	case MethodFTMI:
+		return baselines.SelectorMI, true
+	case MethodFTChi2:
+		return baselines.SelectorChi2, true
+	case MethodFTGini:
+		return baselines.SelectorGini, true
+	case MethodFTForward:
+		return baselines.SelectorForward, true
+	case MethodFTBackward:
+		return baselines.SelectorBackward, true
+	}
+	return 0, false
+}
+
+// MethodSupportsTask reports whether a method applies to a task (Chi2/Gini
+// are classification-only; the paper's regression column shows "-").
+func MethodSupportsTask(method string, task ml.Task) bool {
+	if sel, ok := selectorByMethod(method); ok {
+		return sel.SupportsTask(task)
+	}
+	return true
+}
+
+// runMethod produces the method's query list and evaluates it, returning a
+// filled Cell. FeatAug runs its full two-component pipeline; FT+X methods run
+// DFS plus the selector; Random samples templates and queries uniformly.
+func (c Config) runMethod(e *pipeline.Evaluator, method string, seed int64) (Cell, error) {
+	cell := Cell{Dataset: "", Model: e.Model, Method: method}
+	start := time.Now()
+	var qs []query.Query
+	var err error
+	switch method {
+	case MethodFeatAug:
+		engine := feataug.NewEngine(e, c.Funcs, c.feataugConfig(seed))
+		var res *feataug.Result
+		res, err = engine.Run()
+		if err == nil {
+			qs = res.QueryList()
+		}
+	case MethodRandom:
+		qs, err = baselines.Random(e.P, c.Funcs, c.NumTemplates, c.QueriesPerTemplate, query.SpaceOptions{}, seed)
+	case MethodARDA:
+		qs, err = baselines.ARDA(e, c.dfsCandidates(e, method), c.NumFeatures, seed)
+	case MethodAutoFeatMAB:
+		qs, err = baselines.AutoFeature(e, c.dfsCandidates(e, method), c.NumFeatures, 3*c.NumFeatures, baselines.AutoFeatureMAB, seed)
+	case MethodAutoFeatDQN:
+		qs, err = baselines.AutoFeature(e, c.dfsCandidates(e, method), c.NumFeatures, 3*c.NumFeatures, baselines.AutoFeatureDQN, seed)
+	default:
+		sel, ok := selectorByMethod(method)
+		if !ok {
+			return cell, fmt.Errorf("experiments: unknown method %q", method)
+		}
+		qs, err = baselines.SelectFeatures(e, c.dfsCandidates(e, method), sel, c.NumFeatures)
+	}
+	if err != nil {
+		return cell, fmt.Errorf("experiments: %s: %w", method, err)
+	}
+	validMetric, testMetric, err := e.QuerySetScores(qs)
+	if err != nil {
+		return cell, fmt.Errorf("experiments: evaluate %s: %w", method, err)
+	}
+	cell.Valid = validMetric
+	cell.Metric = testMetric
+	cell.Seconds = time.Since(start).Seconds()
+	return cell, nil
+}
+
+// dfsCandidates enumerates the Featuretools pool, capped for the expensive
+// wrapper selectors and RL methods.
+func (c Config) dfsCandidates(e *pipeline.Evaluator, method string) []query.Query {
+	cands := baselines.DFS(e.P, c.Funcs)
+	switch method {
+	case MethodFTForward, MethodFTBackward, MethodAutoFeatMAB, MethodAutoFeatDQN:
+		if len(cands) > c.MaxSelectorCandidates {
+			cands = cands[:c.MaxSelectorCandidates]
+		}
+	}
+	return cands
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/feataug"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+)
+
+// RunTable1 reports the dataset statistics of Table I / Table IV: relevant
+// row counts and train/valid/test sizes for every generated dataset.
+func RunTable1(cfg Config) ([]Cell, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = append(datagen.OneToManyNames(), datagen.SingleTableNames()...)
+	}
+	fprintlnf(cfg.Out, "Table I/IV: dataset statistics")
+	fprintlnf(cfg.Out, "%-10s %12s %12s %22s", "Dataset", "rows in R", "cols in R", "train/valid/test")
+	var cells []Cell
+	for _, name := range names {
+		d, err := cfg.generate(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		n := d.Train.NumRows()
+		nTrain := int(math.Round(0.6 * float64(n)))
+		nValid := int(math.Round(0.2 * float64(n)))
+		fprintlnf(cfg.Out, "%-10s %12d %12d %9d/%d/%d",
+			name, d.Relevant.NumRows(), d.Relevant.NumCols(), nTrain, nValid, n-nTrain-nValid)
+		cells = append(cells, Cell{Dataset: name, Method: "rows_in_R", Metric: float64(d.Relevant.NumRows())})
+	}
+	return cells, nil
+}
+
+// RunTable2 reports the query-template statistics of Table II / Table V:
+// |F|, #A, #attr, K and the template-set size 2^|attr| per dataset.
+func RunTable2(cfg Config) ([]Cell, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = append(datagen.OneToManyNames(), datagen.SingleTableNames()...)
+	}
+	fprintlnf(cfg.Out, "Table II/V: query template statistics")
+	fprintlnf(cfg.Out, "%-10s %6s %6s %8s %10s %-24s", "Dataset", "|F|", "#A", "#attr", "#T=2^attr", "K")
+	var cells []Cell
+	for _, name := range names {
+		d, err := cfg.generate(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		numT := math.Pow(2, float64(len(d.PredAttrs)))
+		fprintlnf(cfg.Out, "%-10s %6d %6d %8d %10.0f %v",
+			name, len(cfg.Funcs), len(d.AggAttrs), len(d.PredAttrs), numT, d.Keys)
+		cells = append(cells, Cell{Dataset: name, Method: "num_templates", Metric: numT})
+	}
+	return cells, nil
+}
+
+// RunTable3 regenerates Table III: every method × the four one-to-many
+// datasets × the four downstream models, reporting the test metric.
+func RunTable3(cfg Config) ([]Cell, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = datagen.OneToManyNames()
+	}
+	return cfg.runComparison(names, Table3Methods(), "Table III: one-to-many overall comparison")
+}
+
+// RunTable6 regenerates Table VI: the single-table / one-to-one datasets with
+// the extended baseline set and the three traditional models.
+func RunTable6(cfg Config) ([]Cell, error) {
+	cfg = cfg.normalized()
+	if cfg.Datasets == nil {
+		cfg.Datasets = datagen.SingleTableNames()
+	}
+	// DeepFM is excluded: these are multiclass datasets.
+	cfg.Models = ml.TraditionalKinds()
+	return cfg.runComparison(cfg.Datasets, Table6Methods(), "Table VI: single-table / one-to-one comparison")
+}
+
+// runComparison is the generic dataset × model × method sweep behind Tables
+// III and VI. Cells run concurrently under Config.Parallel.
+func (c Config) runComparison(names, methods []string, title string) ([]Cell, error) {
+	var jobs []job
+	for rep := 0; rep < c.Reps; rep++ {
+		rep := rep
+		for _, name := range names {
+			d, err := c.generate(name, rep)
+			if err != nil {
+				return nil, err
+			}
+			p := problem(d)
+			for _, kind := range c.modelsFor(d.Task) {
+				kind := kind
+				for _, method := range methods {
+					method := method
+					if !MethodSupportsTask(method, d.Task) {
+						continue
+					}
+					name := name
+					jobs = append(jobs, func() (Cell, error) {
+						ev, err := pipeline.NewEvaluator(p, kind, c.Seed+int64(rep))
+						if err != nil {
+							return Cell{}, err
+						}
+						cell, err := c.runMethod(ev, method, c.Seed+int64(rep))
+						if err != nil {
+							return Cell{}, fmt.Errorf("%s/%s: %w", name, kind, err)
+						}
+						cell.Dataset = name
+						return cell, nil
+					})
+				}
+			}
+		}
+	}
+	cells, err := runJobs(c.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	cells = meanCells(cells)
+	renderComparison(c, title, cells)
+	return cells, nil
+}
+
+// renderComparison prints the paper-style grid: one block per model, one row
+// per method, one column per dataset.
+func renderComparison(c Config, title string, cells []Cell) {
+	fprintlnf(c.Out, "%s", title)
+	byModel := map[ml.Kind]map[string]map[string]float64{} // model → method → dataset → metric
+	datasetSet := map[string]bool{}
+	for _, cell := range cells {
+		if byModel[cell.Model] == nil {
+			byModel[cell.Model] = map[string]map[string]float64{}
+		}
+		if byModel[cell.Model][cell.Method] == nil {
+			byModel[cell.Model][cell.Method] = map[string]float64{}
+		}
+		byModel[cell.Model][cell.Method][cell.Dataset] = cell.Metric
+		datasetSet[cell.Dataset] = true
+	}
+	var datasets []string
+	for dname := range datasetSet {
+		datasets = append(datasets, dname)
+	}
+	sort.Strings(datasets)
+	var models []ml.Kind
+	for m := range byModel {
+		models = append(models, m)
+	}
+	sort.Slice(models, func(a, b int) bool { return models[a] < models[b] })
+	for _, m := range models {
+		fprintlnf(c.Out, "--- model %s ---", m)
+		header := fmt.Sprintf("%-14s", "Method")
+		for _, dname := range datasets {
+			header += fmt.Sprintf(" %12s", dname)
+		}
+		fprintlnf(c.Out, "%s", header)
+		var methods []string
+		for meth := range byModel[m] {
+			methods = append(methods, meth)
+		}
+		sort.Strings(methods)
+		for _, meth := range methods {
+			row := fmt.Sprintf("%-14s", meth)
+			for _, dname := range datasets {
+				if v, ok := byModel[m][meth][dname]; ok {
+					row += fmt.Sprintf(" %12.4f", v)
+				} else {
+					row += fmt.Sprintf(" %12s", "-")
+				}
+			}
+			fprintlnf(c.Out, "%s", row)
+		}
+	}
+}
+
+// RunTable7 regenerates Table VII, the ablation: FeatAug(NoQTI),
+// FeatAug(NoWU) and FeatAug(Full) across datasets × models.
+func RunTable7(cfg Config) ([]Cell, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = datagen.OneToManyNames()
+	}
+	variants := []struct {
+		name   string
+		mutate func(*feataug.Config)
+	}{
+		{"FeatAug(NoQTI)", func(fc *feataug.Config) { fc.DisableQTI = true }},
+		{"FeatAug(NoWU)", func(fc *feataug.Config) { fc.DisableWarmup = true }},
+		{"FeatAug(Full)", func(fc *feataug.Config) {}},
+	}
+	var cells []Cell
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for _, name := range names {
+			d, err := cfg.generate(name, rep)
+			if err != nil {
+				return nil, err
+			}
+			p := problem(d)
+			for _, kind := range cfg.modelsFor(d.Task) {
+				for _, v := range variants {
+					ev, err := pipeline.NewEvaluator(p, kind, cfg.Seed+int64(rep))
+					if err != nil {
+						return nil, err
+					}
+					fc := cfg.feataugConfig(cfg.Seed + int64(rep))
+					v.mutate(&fc)
+					engine := feataug.NewEngine(ev, cfg.Funcs, fc)
+					res, err := engine.Run()
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/%s: %w", name, kind, v.name, err)
+					}
+					_, test, err := ev.QuerySetScores(res.QueryList())
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, Cell{Dataset: name, Model: kind, Method: v.name, Metric: test})
+				}
+			}
+		}
+	}
+	cells = meanCells(cells)
+	renderComparison(cfg, "Table VII: FeatAug ablation (NoQTI / NoWU / Full)", cells)
+	return cells, nil
+}
+
+// RunTable8 regenerates Table VIII: FeatAug with the SC, MI and LR low-cost
+// proxies across datasets × models.
+func RunTable8(cfg Config) ([]Cell, error) {
+	cfg = cfg.normalized()
+	names := cfg.Datasets
+	if names == nil {
+		names = datagen.OneToManyNames()
+	}
+	proxies := []pipeline.ProxyKind{pipeline.ProxySC, pipeline.ProxyMI, pipeline.ProxyLR}
+	var cells []Cell
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for _, name := range names {
+			d, err := cfg.generate(name, rep)
+			if err != nil {
+				return nil, err
+			}
+			p := problem(d)
+			for _, kind := range cfg.modelsFor(d.Task) {
+				for _, proxy := range proxies {
+					ev, err := pipeline.NewEvaluator(p, kind, cfg.Seed+int64(rep))
+					if err != nil {
+						return nil, err
+					}
+					fc := cfg.feataugConfig(cfg.Seed + int64(rep))
+					fc.Proxy = proxy
+					engine := feataug.NewEngine(ev, cfg.Funcs, fc)
+					res, err := engine.Run()
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/%s: %w", name, kind, proxy, err)
+					}
+					_, test, err := ev.QuerySetScores(res.QueryList())
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, Cell{Dataset: name, Model: kind, Method: "FeatAug-" + proxy.String(), Metric: test})
+				}
+			}
+		}
+	}
+	cells = meanCells(cells)
+	renderComparison(cfg, "Table VIII: low-cost proxy sweep (SC / MI / LR)", cells)
+	return cells, nil
+}

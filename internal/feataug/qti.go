@@ -1,0 +1,186 @@
+package feataug
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hpo"
+	"repro/internal/query"
+)
+
+// TemplateScore pairs a WHERE-clause attribute combination with its
+// estimated effectiveness (higher is better — the negated best loss / best
+// proxy value of its query pool).
+type TemplateScore struct {
+	PredAttrs []string
+	Score     float64
+}
+
+// IdentifyTemplates is the Query Template Identification component (Section
+// VI): beam search over the attribute-subset tree, with Optimisation 1
+// (low-cost proxy instead of real model loss per node) and Optimisation 2
+// (the ridge performance predictor pruning each layer to the top-β nodes
+// before proxy evaluation). It returns the n most promising attribute
+// combinations across all evaluated nodes, best first.
+func (e *Engine) IdentifyTemplates(attrs []string, n int) ([]TemplateScore, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("feataug: no candidate attributes for QTI")
+	}
+	maxDepth := e.cfg.MaxDepth
+	if maxDepth > len(attrs) {
+		maxDepth = len(attrs)
+	}
+
+	evaluated := map[string]TemplateScore{}
+	var predictorX [][]float64
+	var predictorY []float64
+
+	evalNode := func(combo []string) (float64, error) {
+		key := query.CanonicalAttrKey(combo)
+		if ts, ok := evaluated[key]; ok {
+			return ts.Score, nil
+		}
+		score, err := e.templateEffectiveness(combo)
+		if err != nil {
+			return 0, err
+		}
+		evaluated[key] = TemplateScore{PredAttrs: append([]string(nil), combo...), Score: score}
+		predictorX = append(predictorX, query.EncodeAttrSet(attrs, combo))
+		predictorY = append(predictorY, score)
+		return score, nil
+	}
+
+	// Layer 1: every single attribute is evaluated (this is also the
+	// predictor's first training set).
+	type node struct {
+		combo []string
+		score float64
+	}
+	var layer []node
+	for _, a := range attrs {
+		s, err := evalNode([]string{a})
+		if err != nil {
+			return nil, err
+		}
+		layer = append(layer, node{combo: []string{a}, score: s})
+	}
+
+	beam := e.cfg.BeamWidth
+	for depth := 2; depth <= maxDepth; depth++ {
+		// Keep the top-β nodes of the previous layer for expansion.
+		sort.SliceStable(layer, func(a, b int) bool { return layer[a].score > layer[b].score })
+		if len(layer) > beam {
+			layer = layer[:beam]
+		}
+		// Expand each kept node by every unused attribute, deduplicating
+		// combinations across parents.
+		childSet := map[string][]string{}
+		for _, parent := range layer {
+			used := map[string]bool{}
+			for _, a := range parent.combo {
+				used[a] = true
+			}
+			for _, a := range attrs {
+				if used[a] {
+					continue
+				}
+				combo := append(append([]string(nil), parent.combo...), a)
+				key := query.CanonicalAttrKey(combo)
+				if _, seen := evaluated[key]; seen {
+					continue
+				}
+				childSet[key] = combo
+			}
+		}
+		if len(childSet) == 0 {
+			break
+		}
+		children := make([][]string, 0, len(childSet))
+		for _, c := range childSet {
+			children = append(children, c)
+		}
+		sort.Slice(children, func(a, b int) bool {
+			return query.CanonicalAttrKey(children[a]) < query.CanonicalAttrKey(children[b])
+		})
+
+		// Optimisation 2: rank children with the trained predictor and only
+		// proxy-evaluate the top-β. Without it, evaluate every child.
+		toEval := children
+		if !e.cfg.DisablePredictor && len(children) > beam {
+			model := newRidge(0)
+			if err := model.fit(predictorX, predictorY); err == nil {
+				sort.SliceStable(children, func(a, b int) bool {
+					return model.predict(query.EncodeAttrSet(attrs, children[a])) >
+						model.predict(query.EncodeAttrSet(attrs, children[b]))
+				})
+				toEval = children[:beam]
+			}
+		}
+
+		layer = layer[:0]
+		for _, combo := range toEval {
+			s, err := evalNode(combo)
+			if err != nil {
+				return nil, err
+			}
+			layer = append(layer, node{combo: combo, score: s})
+		}
+	}
+
+	// The n most promising templates over all evaluated nodes (the paper
+	// picks from the union of every layer, e.g. the 18 nodes of Figure 4).
+	all := make([]TemplateScore, 0, len(evaluated))
+	for _, ts := range evaluated {
+		all = append(all, ts)
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		return query.CanonicalAttrKey(all[a].PredAttrs) < query.CanonicalAttrKey(all[b].PredAttrs)
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n], nil
+}
+
+// templateEffectiveness estimates how good a template's best query is
+// (Definition 5). With Optimisation 1 it runs a short TPE round on the proxy
+// objective; without it, on the real model objective.
+func (e *Engine) templateEffectiveness(predAttrs []string) (float64, error) {
+	tpl := e.Template(predAttrs)
+	space, err := query.BuildSpace(e.eval.P.Relevant, tpl, e.cfg.Space)
+	if err != nil {
+		return 0, err
+	}
+	objective := func(x []int) float64 {
+		q, err := space.Decode(x)
+		if err != nil {
+			return 1e9
+		}
+		if e.cfg.DisableProxyOpt {
+			loss, err := e.eval.QueryLoss(q)
+			if err != nil {
+				return 1e9
+			}
+			return loss
+		}
+		score, err := e.eval.ProxyScore(q, e.cfg.Proxy)
+		if err != nil {
+			return 1e9
+		}
+		return -score
+	}
+	opts := e.cfg.TPE
+	opts.NumStartup = e.cfg.TemplateProxyIters / 3
+	if opts.NumStartup < 3 {
+		opts.NumStartup = 3
+	}
+	tpe := hpo.NewTPE(space.Cardinalities(), e.rng, opts)
+	best, ok := hpo.Run(tpe, e.cfg.TemplateProxyIters, objective)
+	if !ok {
+		return 0, fmt.Errorf("feataug: empty template search")
+	}
+	return -best.Loss, nil
+}

@@ -1,0 +1,104 @@
+package feataug
+
+import "fmt"
+
+// ridge is the performance predictor of Optimisation 2 (Section VI.C): a
+// ridge-regularised linear model over one-hot template encodings, trained
+// layer-by-layer on (encoding, proxy value) pairs and used to rank the next
+// layer's candidate templates before any proxy evaluation.
+type ridge struct {
+	lambda  float64
+	weights []float64
+	bias    float64
+}
+
+func newRidge(lambda float64) *ridge {
+	if lambda <= 0 {
+		lambda = 1e-2
+	}
+	return &ridge{lambda: lambda}
+}
+
+// fit solves (XᵀX + λI)w = Xᵀy with Gaussian elimination (the design is
+// |attr|+1 wide, tiny).
+func (r *ridge) fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("feataug: ridge fit with %d rows, %d targets", len(X), len(y))
+	}
+	p := len(X[0]) + 1 // intercept in the last slot
+	A := make([][]float64, p)
+	for i := range A {
+		A[i] = make([]float64, p+1)
+	}
+	row := make([]float64, p)
+	for i, x := range X {
+		copy(row, x)
+		row[p-1] = 1
+		for a := 0; a < p; a++ {
+			for b := 0; b < p; b++ {
+				A[a][b] += row[a] * row[b]
+			}
+			A[a][p] += row[a] * y[i]
+		}
+	}
+	for a := 0; a < p-1; a++ { // don't regularise the intercept
+		A[a][a] += r.lambda
+	}
+	w, err := solve(A)
+	if err != nil {
+		return err
+	}
+	r.weights = w[:p-1]
+	r.bias = w[p-1]
+	return nil
+}
+
+// predict scores one encoding.
+func (r *ridge) predict(x []float64) float64 {
+	s := r.bias
+	for j, w := range r.weights {
+		if j < len(x) {
+			s += w * x[j]
+		}
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting on an augmented
+// matrix [A | b].
+func solve(aug [][]float64) ([]float64, error) {
+	n := len(aug)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs(aug[r][col]) > abs(aug[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(aug[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("feataug: singular system")
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col] / aug[col][col]
+			for c := col; c <= n; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = aug[i][n] / aug[i][i]
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+package hpo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SuccessiveHalving implements the Hyperband-style bracket the paper's
+// related-work section points at (Li et al. 2017, Falkner et al. 2018) as a
+// future alternative to plain TPE: n uniformly drawn configurations are
+// evaluated at increasing fidelity, keeping the top 1/eta fraction per rung.
+//
+// eval receives the configuration and the rung fidelity in (0, 1]; fidelity
+// 1 is a full-cost evaluation. For predicate-aware query generation the
+// natural fidelity axis is the evaluation cost of a query: low rungs use the
+// low-cost proxy, the final rung the real model loss — the same cheap-to-
+// expensive laddering as the paper's warm-up, but within one bracket.
+func SuccessiveHalving(cards []int, rng *rand.Rand, n, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
+	if n < 1 {
+		return Observation{}, fmt.Errorf("hpo: need at least one configuration")
+	}
+	if eta < 2 {
+		eta = 3
+	}
+	type cand struct {
+		x    []int
+		loss float64
+	}
+	pop := make([]cand, n)
+	for i := range pop {
+		x := make([]int, len(cards))
+		for d, c := range cards {
+			x[d] = rng.Intn(c)
+		}
+		pop[i] = cand{x: x}
+	}
+	// Number of rungs: halve until one survivor.
+	rungs := 1
+	for m := n; m > 1; m = (m + eta - 1) / eta {
+		rungs++
+	}
+	for r := 0; r < rungs && len(pop) > 0; r++ {
+		fidelity := float64(r+1) / float64(rungs)
+		for i := range pop {
+			pop[i].loss = eval(pop[i].x, fidelity)
+		}
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].loss < pop[b].loss })
+		if r < rungs-1 {
+			keep := (len(pop) + eta - 1) / eta
+			if keep < 1 {
+				keep = 1
+			}
+			pop = pop[:keep]
+		}
+	}
+	best := pop[0]
+	return Observation{X: best.x, Loss: best.loss}, nil
+}
+
+// Hyperband runs multiple successive-halving brackets with different
+// aggressiveness, returning the best observation across brackets.
+func Hyperband(cards []int, rng *rand.Rand, maxN, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
+	if maxN < 1 {
+		return Observation{}, fmt.Errorf("hpo: maxN must be positive")
+	}
+	if eta < 2 {
+		eta = 3
+	}
+	best := Observation{Loss: 1e308}
+	found := false
+	for n := maxN; n >= 1; n = n / eta {
+		obs, err := SuccessiveHalving(cards, rng, n, eta, eval)
+		if err != nil {
+			return Observation{}, err
+		}
+		if !found || obs.Loss < best.Loss {
+			best = obs
+			found = true
+		}
+		if n == 1 {
+			break
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+package hpo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSuccessiveHalvingFindsGoodPoint(t *testing.T) {
+	cards := []int{21, 21}
+	// Noisy at low fidelity, exact at fidelity 1.
+	eval := func(x []int, fidelity float64) float64 {
+		d0 := float64(x[0]) - 10
+		d1 := float64(x[1]) - 10
+		loss := d0*d0 + d1*d1
+		noise := (1 - fidelity) * 20
+		return loss + noise*0.5
+	}
+	best, err := SuccessiveHalving(cards, rand.New(rand.NewSource(1)), 64, 3, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best of 64 uniform under halving should land near the optimum.
+	if best.Loss > 30 {
+		t.Fatalf("best loss = %v", best.Loss)
+	}
+}
+
+func TestSuccessiveHalvingValidation(t *testing.T) {
+	if _, err := SuccessiveHalving([]int{2}, rand.New(rand.NewSource(1)), 0, 3, nil); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+}
+
+func TestSuccessiveHalvingSingleCandidate(t *testing.T) {
+	evals := 0
+	best, err := SuccessiveHalving([]int{3}, rand.New(rand.NewSource(1)), 1, 3,
+		func(x []int, f float64) float64 { evals++; return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Loss != 1 || evals == 0 {
+		t.Fatalf("best = %+v, evals = %d", best, evals)
+	}
+}
+
+func TestSuccessiveHalvingFidelityIncreases(t *testing.T) {
+	var fidelities []float64
+	_, err := SuccessiveHalving([]int{4}, rand.New(rand.NewSource(2)), 9, 3,
+		func(x []int, f float64) float64 {
+			fidelities = append(fidelities, f)
+			return float64(x[0])
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fidelities[len(fidelities)-1]
+	if last != 1 {
+		t.Fatalf("final fidelity = %v, want 1", last)
+	}
+	for i := 1; i < len(fidelities); i++ {
+		if fidelities[i] < fidelities[i-1] {
+			t.Fatal("fidelity should be non-decreasing")
+		}
+	}
+}
+
+func TestSuccessiveHalvingDefaultEta(t *testing.T) {
+	if _, err := SuccessiveHalving([]int{2}, rand.New(rand.NewSource(1)), 4, 0,
+		func(x []int, f float64) float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperband(t *testing.T) {
+	cards := []int{15}
+	eval := func(x []int, fidelity float64) float64 {
+		d := float64(x[0]) - 7
+		return d * d
+	}
+	best, err := Hyperband(cards, rand.New(rand.NewSource(3)), 27, 3, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Loss > 4 {
+		t.Fatalf("hyperband best loss = %v", best.Loss)
+	}
+	if _, err := Hyperband(cards, rand.New(rand.NewSource(3)), 0, 3, eval); err == nil {
+		t.Fatal("maxN=0 should fail")
+	}
+}
+
+func TestHyperbandBeatsSingleBracketOnNoisyLowFidelity(t *testing.T) {
+	// When low fidelity is misleading, smaller brackets (higher starting
+	// fidelity) help; Hyperband should do no worse than the most aggressive
+	// single bracket.
+	cards := []int{31}
+	mislead := func(x []int, fidelity float64) float64 {
+		d := float64(x[0]) - 15
+		true_ := d * d
+		if fidelity < 0.5 {
+			return -true_ // inverted signal at low fidelity
+		}
+		return true_
+	}
+	hb, err := Hyperband(cards, rand.New(rand.NewSource(4)), 27, 3, mislead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := SuccessiveHalving(cards, rand.New(rand.NewSource(4)), 27, 3, mislead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Loss > sh.Loss {
+		t.Fatalf("hyperband %v should be <= single bracket %v", hb.Loss, sh.Loss)
+	}
+}

@@ -1,0 +1,333 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DeepFMOptions configure the DeepFM network (Guo et al., IJCAI 2017): a
+// factorization machine plus a deep MLP that share per-field embeddings. We
+// use the dense-input formulation: every feature is one field and its
+// embedding is the field embedding scaled by the (standardized) value.
+type DeepFMOptions struct {
+	EmbedDim     int     // 0 → 4
+	Hidden       []int   // nil → [16, 8]
+	Epochs       int     // 0 → 30
+	LearningRate float64 // 0 → 0.05 (Adam)
+	BatchSize    int     // 0 → 32
+	Seed         int64
+}
+
+func (o DeepFMOptions) normalized() DeepFMOptions {
+	if o.EmbedDim <= 0 {
+		o.EmbedDim = 4
+	}
+	if o.Hidden == nil {
+		o.Hidden = []int{16, 8}
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 30
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.05
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	return o
+}
+
+// DeepFM is a binary classifier: ŷ = σ(y_FM + y_DNN) with first-order
+// weights, pairwise FM interactions over shared embeddings, and an MLP over
+// the concatenated embeddings.
+type DeepFM struct {
+	opts DeepFMOptions
+	std  *standardizer
+
+	p int // number of fields (= features)
+	k int // embedding dim
+
+	w0 float64     // global bias
+	w  []float64   // first-order weights, len p
+	v  [][]float64 // embeddings, p × k
+
+	// MLP: layer l maps dims[l] → dims[l+1]; last layer → 1.
+	weightsMLP [][][]float64 // [layer][out][in]
+	biasMLP    [][]float64   // [layer][out]
+
+	adam *adamState
+}
+
+// NewDeepFM constructs the network.
+func NewDeepFM(opts DeepFMOptions) *DeepFM {
+	return &DeepFM{opts: opts.normalized()}
+}
+
+// Task returns Binary; DeepFM is a binary classifier.
+func (m *DeepFM) Task() Task { return Binary }
+
+type adamState struct {
+	mw, vw []float64 // flat moments aligned with parameter vector
+	t      int
+}
+
+// paramCount returns the total number of scalar parameters.
+func (m *DeepFM) paramCount() int {
+	n := 1 + m.p + m.p*m.k
+	for l := range m.weightsMLP {
+		n += len(m.weightsMLP[l])*len(m.weightsMLP[l][0]) + len(m.biasMLP[l])
+	}
+	return n
+}
+
+// Fit trains with mini-batch Adam on log-loss.
+func (m *DeepFM) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: bad training set (%d rows, %d labels)", len(X), len(y))
+	}
+	m.std = fitStandardizer(X)
+	Xs := m.std.transform(X)
+	m.p = len(Xs[0])
+	m.k = m.opts.EmbedDim
+	rng := rand.New(rand.NewSource(m.opts.Seed))
+	initScale := 0.1
+	m.w0 = 0
+	m.w = randVec(rng, m.p, initScale)
+	m.v = make([][]float64, m.p)
+	for i := range m.v {
+		m.v[i] = randVec(rng, m.k, initScale)
+	}
+	dims := append([]int{m.p * m.k}, m.opts.Hidden...)
+	dims = append(dims, 1)
+	m.weightsMLP = make([][][]float64, len(dims)-1)
+	m.biasMLP = make([][]float64, len(dims)-1)
+	for l := 0; l < len(dims)-1; l++ {
+		scale := math.Sqrt(2.0 / float64(dims[l]))
+		m.weightsMLP[l] = make([][]float64, dims[l+1])
+		for o := range m.weightsMLP[l] {
+			m.weightsMLP[l][o] = randVec(rng, dims[l], scale)
+		}
+		m.biasMLP[l] = make([]float64, dims[l+1])
+	}
+	m.adam = &adamState{
+		mw: make([]float64, m.paramCount()),
+		vw: make([]float64, m.paramCount()),
+	}
+
+	n := len(Xs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.opts.Epochs; epoch++ {
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < n; start += m.opts.BatchSize {
+			end := start + m.opts.BatchSize
+			if end > n {
+				end = n
+			}
+			m.trainBatch(Xs, y, order[start:end])
+		}
+	}
+	return nil
+}
+
+func randVec(rng *rand.Rand, n int, scale float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}
+
+// forward computes the prediction plus the intermediates backprop needs.
+type fmForward struct {
+	emb      []float64   // scaled embeddings e_i = v_i * x_i, flattened p*k
+	sumEmb   []float64   // Σ_i e_i, len k
+	acts     [][]float64 // MLP activations per layer (post-ReLU), acts[0] = emb
+	preacts  [][]float64 // pre-activation values
+	yFM      float64
+	yDNN     float64
+	prob     float64
+	firstOrd float64
+}
+
+func (m *DeepFM) forward(row []float64) *fmForward {
+	f := &fmForward{}
+	f.emb = make([]float64, m.p*m.k)
+	f.sumEmb = make([]float64, m.k)
+	sumSq := 0.0
+	for i := 0; i < m.p; i++ {
+		xi := row[i]
+		for d := 0; d < m.k; d++ {
+			e := m.v[i][d] * xi
+			f.emb[i*m.k+d] = e
+			f.sumEmb[d] += e
+			sumSq += e * e
+		}
+	}
+	second := 0.0
+	for d := 0; d < m.k; d++ {
+		second += f.sumEmb[d] * f.sumEmb[d]
+	}
+	second = 0.5 * (second - sumSq)
+	f.firstOrd = m.w0 + dot(m.w, row)
+	f.yFM = f.firstOrd + second
+
+	// MLP forward with ReLU hidden layers, linear output.
+	f.acts = append(f.acts, f.emb)
+	cur := f.emb
+	for l := range m.weightsMLP {
+		pre := make([]float64, len(m.weightsMLP[l]))
+		for o := range m.weightsMLP[l] {
+			pre[o] = dot(m.weightsMLP[l][o], cur) + m.biasMLP[l][o]
+		}
+		f.preacts = append(f.preacts, pre)
+		if l == len(m.weightsMLP)-1 {
+			cur = pre // linear output
+		} else {
+			act := make([]float64, len(pre))
+			for o, z := range pre {
+				if z > 0 {
+					act[o] = z
+				}
+			}
+			cur = act
+		}
+		f.acts = append(f.acts, cur)
+	}
+	f.yDNN = cur[0]
+	f.prob = sigmoid(f.yFM + f.yDNN)
+	return f
+}
+
+// trainBatch accumulates gradients over the batch and applies one Adam step.
+func (m *DeepFM) trainBatch(X [][]float64, y []float64, rows []int) {
+	grad := make([]float64, m.paramCount())
+	for _, r := range rows {
+		m.backprop(X[r], y[r], grad, 1/float64(len(rows)))
+	}
+	m.adamStep(grad)
+}
+
+// backprop adds scale × ∂loss/∂θ for one example into grad. The gradient
+// vector layout is [w0, w, v, mlpW..., mlpB...] in layer order.
+func (m *DeepFM) backprop(row []float64, target float64, grad []float64, scale float64) {
+	f := m.forward(row)
+	dOut := (f.prob - target) * scale // dLoss/d(logit)
+
+	idx := 0
+	// w0
+	grad[idx] += dOut
+	idx++
+	// first-order weights
+	for i := 0; i < m.p; i++ {
+		grad[idx+i] += dOut * row[i]
+	}
+	idx += m.p
+	vBase := idx
+	idx += m.p * m.k
+
+	// FM second-order gradient w.r.t. e_i: sumEmb - e_i; chain to v via x_i.
+	for i := 0; i < m.p; i++ {
+		xi := row[i]
+		for d := 0; d < m.k; d++ {
+			dE := dOut * (f.sumEmb[d] - f.emb[i*m.k+d])
+			grad[vBase+i*m.k+d] += dE * xi
+		}
+	}
+
+	// MLP backward: delta at output = dOut.
+	nLayers := len(m.weightsMLP)
+	deltas := make([][]float64, nLayers)
+	deltas[nLayers-1] = []float64{dOut}
+	for l := nLayers - 2; l >= 0; l-- {
+		next := deltas[l+1]
+		cur := make([]float64, len(m.weightsMLP[l]))
+		for o := range cur {
+			s := 0.0
+			for no := range m.weightsMLP[l+1] {
+				s += next[no] * m.weightsMLP[l+1][no][o]
+			}
+			if f.preacts[l][o] > 0 { // ReLU derivative
+				cur[o] = s
+			}
+		}
+		deltas[l] = cur
+	}
+	// Gradients for MLP weights/biases, and the embedding path through the
+	// DNN input.
+	embGrad := make([]float64, m.p*m.k)
+	for l := 0; l < nLayers; l++ {
+		in := f.acts[l]
+		for o := range m.weightsMLP[l] {
+			d := deltas[l][o]
+			wrow := m.weightsMLP[l][o]
+			for j := range wrow {
+				grad[idx] += d * in[j]
+				idx++
+				if l == 0 {
+					embGrad[j] += d * wrow[j]
+				}
+			}
+		}
+		for o := range m.biasMLP[l] {
+			grad[idx] += deltas[l][o]
+			idx++
+		}
+	}
+	// Embedding gradient from the DNN input path.
+	for i := 0; i < m.p; i++ {
+		xi := row[i]
+		for d := 0; d < m.k; d++ {
+			grad[vBase+i*m.k+d] += embGrad[i*m.k+d] * xi
+		}
+	}
+}
+
+// adamStep applies one Adam update with the accumulated gradient.
+func (m *DeepFM) adamStep(grad []float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a := m.adam
+	a.t++
+	lr := m.opts.LearningRate *
+		math.Sqrt(1-math.Pow(beta2, float64(a.t))) / (1 - math.Pow(beta1, float64(a.t)))
+	i := 0
+	step := func(theta *float64) {
+		g := grad[i]
+		a.mw[i] = beta1*a.mw[i] + (1-beta1)*g
+		a.vw[i] = beta2*a.vw[i] + (1-beta2)*g*g
+		*theta -= lr * a.mw[i] / (math.Sqrt(a.vw[i]) + eps)
+		i++
+	}
+	step(&m.w0)
+	for j := range m.w {
+		step(&m.w[j])
+	}
+	for f := range m.v {
+		for d := range m.v[f] {
+			step(&m.v[f][d])
+		}
+	}
+	for l := range m.weightsMLP {
+		for o := range m.weightsMLP[l] {
+			for j := range m.weightsMLP[l][o] {
+				step(&m.weightsMLP[l][o][j])
+			}
+		}
+		for o := range m.biasMLP[l] {
+			step(&m.biasMLP[l][o])
+		}
+	}
+}
+
+// Predict returns [P(y=1)] per row.
+func (m *DeepFM) Predict(X [][]float64) [][]float64 {
+	Xs := m.std.transform(X)
+	out := make([][]float64, len(Xs))
+	for i, row := range Xs {
+		out[i] = []float64{m.forward(row).prob}
+	}
+	return out
+}

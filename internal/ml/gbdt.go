@@ -1,0 +1,282 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GBDTOptions configure the gradient-boosted tree ensemble (the paper's XGB
+// model): second-order boosting with regularised leaf weights, the core of
+// the XGBoost objective.
+type GBDTOptions struct {
+	NumRounds      int     // 0 → 40
+	MaxDepth       int     // 0 → 4
+	LearningRate   float64 // 0 → 0.2
+	Lambda         float64 // L2 on leaf weights; 0 → 1.0
+	MinChildWeight float64 // minimum hessian sum per leaf; 0 → 1.0
+	Seed           int64
+}
+
+func (o GBDTOptions) normalized() GBDTOptions {
+	if o.NumRounds <= 0 {
+		o.NumRounds = 40
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.2
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 1.0
+	}
+	if o.MinChildWeight <= 0 {
+		o.MinChildWeight = 1.0
+	}
+	return o
+}
+
+// gbNode is a regression tree over gradients/hessians with XGBoost-style
+// leaf weights w = -G/(H+λ).
+type gbNode struct {
+	feature int
+	thresh  float64
+	left    *gbNode
+	right   *gbNode
+	weight  float64
+	isLeaf  bool
+	gain    float64 // split gain, for feature importance
+}
+
+// GBDT is the gradient boosted tree model. Binary tasks boost log-loss;
+// regression boosts squared error; multiclass trains one booster per class
+// one-vs-rest and normalises the sigmoid scores.
+type GBDT struct {
+	task     Task
+	opts     GBDTOptions
+	base     []float64  // initial score per class booster
+	boosters [][]gbTree // [class][round]
+	classes  int
+	gains    []float64 // per-feature cumulative split gain
+}
+
+type gbTree struct{ root *gbNode }
+
+// NewGBDT constructs the booster for a task.
+func NewGBDT(task Task, opts GBDTOptions) *GBDT {
+	return &GBDT{task: task, opts: opts.normalized()}
+}
+
+// Task returns the configured task.
+func (m *GBDT) Task() Task { return m.task }
+
+// Fit trains the ensemble.
+func (m *GBDT) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: bad training set (%d rows, %d labels)", len(X), len(y))
+	}
+	p := len(X[0])
+	m.gains = make([]float64, p)
+	switch m.task {
+	case Binary:
+		m.classes = 1
+	case Regression:
+		m.classes = 1
+	case MultiClass:
+		m.classes = NumClasses(y)
+	default:
+		return fmt.Errorf("ml: unknown task %d", int(m.task))
+	}
+	m.base = make([]float64, m.classes)
+	m.boosters = make([][]gbTree, m.classes)
+	n := len(X)
+	for c := 0; c < m.classes; c++ {
+		target := make([]float64, n)
+		for i := range target {
+			switch m.task {
+			case Regression:
+				target[i] = y[i]
+			case Binary:
+				target[i] = y[i]
+			case MultiClass:
+				if int(y[i]) == c {
+					target[i] = 1
+				}
+			}
+		}
+		if m.task == Regression {
+			s := 0.0
+			for _, v := range target {
+				s += v
+			}
+			m.base[c] = s / float64(n)
+		} // classification base score 0 (p=0.5)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = m.base[c]
+		}
+		grad := make([]float64, n)
+		hess := make([]float64, n)
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		for round := 0; round < m.opts.NumRounds; round++ {
+			for i := 0; i < n; i++ {
+				if m.task == Regression {
+					grad[i] = scores[i] - target[i]
+					hess[i] = 1
+				} else {
+					pi := sigmoid(scores[i])
+					grad[i] = pi - target[i]
+					hess[i] = pi * (1 - pi)
+					if hess[i] < 1e-6 {
+						hess[i] = 1e-6
+					}
+				}
+			}
+			root := m.growTree(X, grad, hess, rows, 0)
+			m.boosters[c] = append(m.boosters[c], gbTree{root: root})
+			for i := 0; i < n; i++ {
+				scores[i] += m.opts.LearningRate * predictGB(root, X[i])
+			}
+		}
+	}
+	return nil
+}
+
+func (m *GBDT) growTree(X [][]float64, grad, hess []float64, rows []int, depth int) *gbNode {
+	var G, H float64
+	for _, r := range rows {
+		G += grad[r]
+		H += hess[r]
+	}
+	leaf := func() *gbNode {
+		return &gbNode{isLeaf: true, weight: -G / (H + m.opts.Lambda)}
+	}
+	if depth >= m.opts.MaxDepth || len(rows) < 2 {
+		return leaf()
+	}
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	parentScore := G * G / (H + m.opts.Lambda)
+	p := len(X[rows[0]])
+	type fgh struct{ v, g, h float64 }
+	vals := make([]fgh, 0, len(rows))
+	for j := 0; j < p; j++ {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, fgh{X[r][j], grad[r], hess[r]})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		if vals[0].v == vals[len(vals)-1].v {
+			continue
+		}
+		var GL, HL float64
+		for i := 0; i < len(vals)-1; i++ {
+			GL += vals[i].g
+			HL += vals[i].h
+			if vals[i].v == vals[i+1].v {
+				continue
+			}
+			GR, HR := G-GL, H-HL
+			if HL < m.opts.MinChildWeight || HR < m.opts.MinChildWeight {
+				continue
+			}
+			gain := GL*GL/(HL+m.opts.Lambda) + GR*GR/(HR+m.opts.Lambda) - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = j
+				bestThresh = (vals[i].v + vals[i+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		return leaf()
+	}
+	var left, right []int
+	for _, r := range rows {
+		if X[r][bestFeat] <= bestThresh {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leaf()
+	}
+	m.gains[bestFeat] += bestGain
+	return &gbNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		gain:    bestGain,
+		left:    m.growTree(X, grad, hess, left, depth+1),
+		right:   m.growTree(X, grad, hess, right, depth+1),
+	}
+}
+
+func predictGB(node *gbNode, row []float64) float64 {
+	for !node.isLeaf {
+		if row[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.weight
+}
+
+// Predict returns score rows (see Model).
+func (m *GBDT) Predict(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		raw := make([]float64, m.classes)
+		for c := 0; c < m.classes; c++ {
+			s := m.base[c]
+			for _, t := range m.boosters[c] {
+				s += m.opts.LearningRate * predictGB(t.root, row)
+			}
+			raw[c] = s
+		}
+		switch m.task {
+		case Regression:
+			out[i] = []float64{raw[0]}
+		case Binary:
+			out[i] = []float64{sigmoid(raw[0])}
+		case MultiClass:
+			probs := make([]float64, m.classes)
+			sum := 0.0
+			for c, s := range raw {
+				probs[c] = sigmoid(s)
+				sum += probs[c]
+			}
+			if sum <= 0 {
+				sum = 1
+			}
+			for c := range probs {
+				probs[c] /= sum
+			}
+			out[i] = probs
+		}
+	}
+	return out
+}
+
+// FeatureImportance returns the cumulative split gain per feature, the
+// signal the FT+GBDT selector ranks by. The slice is a copy.
+func (m *GBDT) FeatureImportance() []float64 {
+	out := make([]float64, len(m.gains))
+	copy(out, m.gains)
+	// Normalise to sum 1 when any gain exists, matching xgboost's
+	// importance_type="gain" after normalisation.
+	total := 0.0
+	for _, g := range out {
+		total += g
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LinearOptions configure the linear family (logistic regression for
+// classification, least-squares regression for regression tasks).
+type LinearOptions struct {
+	LearningRate float64 // 0 → 0.1
+	Epochs       int     // 0 → 200
+	L2           float64 // ridge penalty; 0 → 1e-4
+	Seed         int64
+}
+
+func (o LinearOptions) normalized() LinearOptions {
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 200
+	}
+	if o.L2 <= 0 {
+		o.L2 = 1e-4
+	}
+	return o
+}
+
+// Linear is the LR model family of the paper: binary logistic regression,
+// multinomial (softmax) regression, or linear least squares, trained with
+// full-batch gradient descent on standardized features.
+type Linear struct {
+	task Task
+	opts LinearOptions
+	std  *standardizer
+	// weights[c][j]; biases[c]. Binary and regression use a single row.
+	weights [][]float64
+	biases  []float64
+	classes int
+}
+
+// NewLinear constructs the linear model for a task.
+func NewLinear(task Task, opts LinearOptions) *Linear {
+	return &Linear{task: task, opts: opts.normalized()}
+}
+
+// Task returns the configured task.
+func (m *Linear) Task() Task { return m.task }
+
+// Fit trains with full-batch gradient descent.
+func (m *Linear) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: X rows %d != y %d", len(X), len(y))
+	}
+	m.std = fitStandardizer(X)
+	Xs := m.std.transform(X)
+	p := len(Xs[0])
+	switch m.task {
+	case Binary, Regression:
+		m.classes = 1
+	case MultiClass:
+		m.classes = NumClasses(y)
+	default:
+		return fmt.Errorf("ml: unknown task %d", int(m.task))
+	}
+	rng := rand.New(rand.NewSource(m.opts.Seed))
+	m.weights = make([][]float64, m.classes)
+	m.biases = make([]float64, m.classes)
+	for c := range m.weights {
+		m.weights[c] = make([]float64, p)
+		for j := range m.weights[c] {
+			m.weights[c][j] = (rng.Float64() - 0.5) * 0.01
+		}
+	}
+	n := float64(len(Xs))
+	lr := m.opts.LearningRate
+	for epoch := 0; epoch < m.opts.Epochs; epoch++ {
+		gradW := make([][]float64, m.classes)
+		gradB := make([]float64, m.classes)
+		for c := range gradW {
+			gradW[c] = make([]float64, p)
+		}
+		for i, row := range Xs {
+			switch m.task {
+			case Binary:
+				pi := sigmoid(dot(m.weights[0], row) + m.biases[0])
+				e := pi - y[i]
+				axpy(gradW[0], row, e)
+				gradB[0] += e
+			case Regression:
+				pred := dot(m.weights[0], row) + m.biases[0]
+				e := pred - y[i]
+				axpy(gradW[0], row, e)
+				gradB[0] += e
+			case MultiClass:
+				probs := m.softmaxRow(row)
+				for c := 0; c < m.classes; c++ {
+					e := probs[c]
+					if int(y[i]) == c {
+						e -= 1
+					}
+					axpy(gradW[c], row, e)
+					gradB[c] += e
+				}
+			}
+		}
+		for c := 0; c < m.classes; c++ {
+			for j := 0; j < p; j++ {
+				m.weights[c][j] -= lr * (gradW[c][j]/n + m.opts.L2*m.weights[c][j])
+			}
+			m.biases[c] -= lr * gradB[c] / n
+		}
+	}
+	return nil
+}
+
+func (m *Linear) softmaxRow(row []float64) []float64 {
+	logits := make([]float64, m.classes)
+	maxl := math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		logits[c] = dot(m.weights[c], row) + m.biases[c]
+		if logits[c] > maxl {
+			maxl = logits[c]
+		}
+	}
+	sum := 0.0
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - maxl)
+		sum += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= sum
+	}
+	return logits
+}
+
+// Predict returns score rows (see Model).
+func (m *Linear) Predict(X [][]float64) [][]float64 {
+	Xs := m.std.transform(X)
+	out := make([][]float64, len(Xs))
+	for i, row := range Xs {
+		switch m.task {
+		case Binary:
+			out[i] = []float64{sigmoid(dot(m.weights[0], row) + m.biases[0])}
+		case Regression:
+			out[i] = []float64{dot(m.weights[0], row) + m.biases[0]}
+		case MultiClass:
+			out[i] = m.softmaxRow(row)
+		}
+	}
+	return out
+}
+
+// Coefficients returns a copy of the absolute weight magnitudes summed over
+// classes — the feature-importance signal the FT+LR selector uses.
+func (m *Linear) Coefficients() []float64 {
+	if len(m.weights) == 0 {
+		return nil
+	}
+	p := len(m.weights[0])
+	out := make([]float64, p)
+	for _, wc := range m.weights {
+		for j, w := range wc {
+			out[j] += math.Abs(w)
+		}
+	}
+	return out
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy adds scale*row to dst in place.
+func axpy(dst, row []float64, scale float64) {
+	for j := range dst {
+		dst[j] += scale * row[j]
+	}
+}

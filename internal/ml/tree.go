@@ -1,0 +1,238 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a CART tree. Leaves carry either a class
+// distribution (classification) or a mean value (regression).
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	leafDist []float64 // classification leaves
+	leafVal  float64   // regression leaves
+	isLeaf   bool
+}
+
+// treeOptions control CART growth.
+type treeOptions struct {
+	maxDepth       int
+	minSamplesLeaf int
+	// maxFeatures limits the number of candidate features per split
+	// (random-forest style); 0 = all features.
+	maxFeatures int
+	classes     int  // >0 for classification
+	regression  bool // variance-reduction splits
+	// rng supplies feature subsampling; may be nil when maxFeatures == 0.
+	intn func(int) int
+}
+
+// buildTree grows a CART tree over the row subset rows.
+func buildTree(X [][]float64, y []float64, rows []int, depth int, o treeOptions) *treeNode {
+	if len(rows) == 0 {
+		return &treeNode{isLeaf: true, leafDist: make([]float64, o.classes)}
+	}
+	if depth >= o.maxDepth || len(rows) < 2*o.minSamplesLeaf || pure(y, rows) {
+		return makeLeaf(y, rows, o)
+	}
+	feat, thresh, ok := bestSplit(X, y, rows, o)
+	if !ok {
+		return makeLeaf(y, rows, o)
+	}
+	var left, right []int
+	for _, r := range rows {
+		if X[r][feat] <= thresh {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < o.minSamplesLeaf || len(right) < o.minSamplesLeaf {
+		return makeLeaf(y, rows, o)
+	}
+	return &treeNode{
+		feature: feat,
+		thresh:  thresh,
+		left:    buildTree(X, y, left, depth+1, o),
+		right:   buildTree(X, y, right, depth+1, o),
+	}
+}
+
+func pure(y []float64, rows []int) bool {
+	for _, r := range rows[1:] {
+		if y[r] != y[rows[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func makeLeaf(y []float64, rows []int, o treeOptions) *treeNode {
+	if o.regression {
+		m := 0.0
+		for _, r := range rows {
+			m += y[r]
+		}
+		if len(rows) > 0 {
+			m /= float64(len(rows))
+		}
+		return &treeNode{isLeaf: true, leafVal: m}
+	}
+	dist := make([]float64, o.classes)
+	for _, r := range rows {
+		dist[int(y[r])]++
+	}
+	total := float64(len(rows))
+	if total > 0 {
+		for c := range dist {
+			dist[c] /= total
+		}
+	}
+	return &treeNode{isLeaf: true, leafDist: dist}
+}
+
+// bestSplit scans candidate features for the impurity-minimising threshold.
+// Classification uses Gini; regression uses within-node variance.
+func bestSplit(X [][]float64, y []float64, rows []int, o treeOptions) (feat int, thresh float64, ok bool) {
+	p := len(X[rows[0]])
+	candidates := make([]int, p)
+	for j := range candidates {
+		candidates[j] = j
+	}
+	if o.maxFeatures > 0 && o.maxFeatures < p && o.intn != nil {
+		// Fisher–Yates prefix shuffle.
+		for j := 0; j < o.maxFeatures; j++ {
+			k := j + o.intn(p-j)
+			candidates[j], candidates[k] = candidates[k], candidates[j]
+		}
+		candidates = candidates[:o.maxFeatures]
+	}
+	bestScore := math.Inf(1)
+	vals := make([]fv, 0, len(rows))
+	for _, j := range candidates {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, fv{X[r][j], y[r]})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		if vals[0].v == vals[len(vals)-1].v {
+			continue // constant feature
+		}
+		if o.regression {
+			score, th, found := bestVarianceSplit(vals, o.minSamplesLeaf)
+			if found && score < bestScore {
+				bestScore, feat, thresh, ok = score, j, th, true
+			}
+		} else {
+			score, th, found := bestGiniSplit(vals, o.classes, o.minSamplesLeaf)
+			if found && score < bestScore {
+				bestScore, feat, thresh, ok = score, j, th, true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+// fv pairs one feature value with its target for split scanning.
+type fv struct{ v, y float64 }
+
+func bestGiniSplit(vals []fv, classes, minLeaf int) (best, thresh float64, ok bool) {
+	n := len(vals)
+	right := make([]float64, classes)
+	left := make([]float64, classes)
+	for _, x := range vals {
+		right[int(x.y)]++
+	}
+	best = math.Inf(1)
+	nl := 0.0
+	for i := 0; i < n-1; i++ {
+		c := int(vals[i].y)
+		left[c]++
+		right[c]--
+		nl++
+		if vals[i].v == vals[i+1].v {
+			continue
+		}
+		if int(nl) < minLeaf || n-int(nl) < minLeaf {
+			continue
+		}
+		nr := float64(n) - nl
+		gl, gr := 1.0, 1.0
+		for cc := 0; cc < classes; cc++ {
+			pl := left[cc] / nl
+			pr := right[cc] / nr
+			gl -= pl * pl
+			gr -= pr * pr
+		}
+		score := (nl*gl + nr*gr) / float64(n)
+		if score < best {
+			best = score
+			thresh = (vals[i].v + vals[i+1].v) / 2
+			ok = true
+		}
+	}
+	return best, thresh, ok
+}
+
+func bestVarianceSplit(vals []fv, minLeaf int) (best, thresh float64, ok bool) {
+	n := len(vals)
+	var sumR, sumR2 float64
+	for _, x := range vals {
+		sumR += x.y
+		sumR2 += x.y * x.y
+	}
+	var sumL, sumL2, nl float64
+	best = math.Inf(1)
+	for i := 0; i < n-1; i++ {
+		yv := vals[i].y
+		sumL += yv
+		sumL2 += yv * yv
+		sumR -= yv
+		sumR2 -= yv * yv
+		nl++
+		if vals[i].v == vals[i+1].v {
+			continue
+		}
+		if int(nl) < minLeaf || n-int(nl) < minLeaf {
+			continue
+		}
+		nr := float64(n) - nl
+		varL := sumL2/nl - (sumL/nl)*(sumL/nl)
+		varR := sumR2/nr - (sumR/nr)*(sumR/nr)
+		score := (nl*varL + nr*varR) / float64(n)
+		if score < best {
+			best = score
+			thresh = (vals[i].v + vals[i+1].v) / 2
+			ok = true
+		}
+	}
+	return best, thresh, ok
+}
+
+// predictRow walks the tree for one input row.
+func (t *treeNode) predictRow(row []float64) *treeNode {
+	node := t
+	for !node.isLeaf {
+		if row[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node
+}
+
+// depth returns the tree depth (leaf = 1), a diagnostic used by tests.
+func (t *treeNode) depth() int {
+	if t.isLeaf {
+		return 1
+	}
+	l, r := t.left.depth(), t.right.depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

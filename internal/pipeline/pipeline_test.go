@@ -1,0 +1,317 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/datagen"
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+func problemFrom(t *testing.T, d *datagen.Dataset) Problem {
+	t.Helper()
+	return Problem{
+		Train: d.Train, Relevant: d.Relevant, Label: d.Label, Task: d.Task,
+		Keys: d.Keys, AggAttrs: d.AggAttrs, PredAttrs: d.PredAttrs,
+		BaseFeatures: d.BaseFeatures,
+	}
+}
+
+func tmallProblem(t *testing.T) Problem {
+	t.Helper()
+	return problemFrom(t, datagen.Tmall(datagen.Options{TrainRows: 300, LogsPerKey: 8, Seed: 21}))
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := tmallProblem(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.Label = "ghost"
+	if bad.Validate() == nil {
+		t.Error("missing label should fail")
+	}
+	bad = p
+	bad.Keys = nil
+	if bad.Validate() == nil {
+		t.Error("missing keys should fail")
+	}
+	bad = p
+	bad.Keys = []string{"ghost"}
+	if bad.Validate() == nil {
+		t.Error("unknown key should fail")
+	}
+	bad = p
+	bad.Train = nil
+	if bad.Validate() == nil {
+		t.Error("nil table should fail")
+	}
+}
+
+func TestNewEvaluatorRejectsBadProblem(t *testing.T) {
+	p := tmallProblem(t)
+	p.Label = "ghost"
+	if _, err := NewEvaluator(p, ml.KindLR, 1); err == nil {
+		t.Fatal("bad problem should fail")
+	}
+}
+
+func TestLabelsAndYFloat(t *testing.T) {
+	p := tmallProblem(t)
+	labels := p.Labels()
+	y := p.YFloat()
+	if len(labels) != p.Train.NumRows() || len(y) != len(labels) {
+		t.Fatal("length mismatch")
+	}
+	for i := range labels {
+		if float64(labels[i]) != y[i] {
+			t.Fatal("binary labels should match float labels")
+		}
+	}
+}
+
+func TestFeatureCaching(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Agg: agg.Count, AggAttr: "price", Keys: ev.P.Keys}
+	v1, _, err := ev.Feature(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := ev.Feature(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v1[0] != &v2[0] {
+		t.Fatal("second call should hit the cache (same backing array)")
+	}
+}
+
+func TestProxyScores(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := query.Query{
+		Agg: agg.Count, AggAttr: "price", Keys: ev.P.Keys,
+		Preds: []query.Predicate{
+			{Attr: "action", Kind: query.PredEq, StrValue: "buy"},
+			{Attr: "timestamp", Kind: query.PredRange, HasLo: true, Lo: 5000},
+		},
+	}
+	noiseQ := query.Query{Agg: agg.Avg, AggAttr: "price", Keys: ev.P.Keys,
+		Preds: []query.Predicate{{Attr: "brand", Kind: query.PredEq, StrValue: "b0"}}}
+	for _, kind := range []ProxyKind{ProxyMI, ProxySC} {
+		s, err := ev.ProxyScore(signal, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ev.ProxyScore(noiseQ, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= n {
+			t.Errorf("%s: signal score %v should beat noise %v", kind, s, n)
+		}
+	}
+	if _, err := ev.ProxyScore(signal, ProxyLR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.ProxyScore(signal, ProxyKind(9)); err == nil {
+		t.Fatal("unknown proxy should fail")
+	}
+	if ev.ProxyEvaluations == 0 {
+		t.Fatal("proxy evaluations not counted")
+	}
+}
+
+func TestProxyKindString(t *testing.T) {
+	if ProxyMI.String() != "MI" || ProxySC.String() != "SC" || ProxyLR.String() != "LR" {
+		t.Fatal("proxy names wrong")
+	}
+	if ProxyKind(9).String() != "ProxyKind(9)" {
+		t.Fatal("unknown proxy name wrong")
+	}
+}
+
+func TestQueryLossCachesAndCounts(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Agg: agg.Count, AggAttr: "price", Keys: ev.P.Keys}
+	l1, err := ev.QueryLoss(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := ev.Evaluations
+	l2, err := ev.QueryLoss(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Fatal("cached loss differs")
+	}
+	if ev.Evaluations != evals {
+		t.Fatal("cache miss on repeated query")
+	}
+	if l1 < 0 || l1 > 1 {
+		t.Fatalf("binary loss %v out of [0,1]", l1)
+	}
+}
+
+func TestSignalQueryBeatsNoiseOnRealLoss(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := query.Query{
+		Agg: agg.Count, AggAttr: "price", Keys: ev.P.Keys,
+		Preds: []query.Predicate{
+			{Attr: "action", Kind: query.PredEq, StrValue: "buy"},
+			{Attr: "timestamp", Kind: query.PredRange, HasLo: true, Lo: 5000},
+		},
+	}
+	noise := query.Query{Agg: agg.Avg, AggAttr: "price", Keys: ev.P.Keys,
+		Preds: []query.Predicate{{Attr: "brand", Kind: query.PredEq, StrValue: "b3"}}}
+	ls, err := ev.QueryLoss(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := ev.QueryLoss(noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls >= ln {
+		t.Fatalf("signal loss %v should beat noise loss %v", ls, ln)
+	}
+}
+
+func TestQuerySetScoresAndBaseline(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []query.Query{
+		{Agg: agg.Count, AggAttr: "price", Keys: ev.P.Keys,
+			Preds: []query.Predicate{
+				{Attr: "action", Kind: query.PredEq, StrValue: "buy"},
+				{Attr: "timestamp", Kind: query.PredRange, HasLo: true, Lo: 5000},
+			}},
+		{Agg: agg.Avg, AggAttr: "price", Keys: ev.P.Keys},
+	}
+	valid, test, err := ev.QuerySetScores(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid <= 0 || valid > 1 || test <= 0 || test > 1 {
+		t.Fatalf("scores out of range: %v %v", valid, test)
+	}
+	bv, bt, err := ev.BaselineScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv <= 0 || bt <= 0 {
+		t.Fatal("baseline scores missing")
+	}
+	// The signal feature set should beat base features alone.
+	if valid <= bv {
+		t.Fatalf("augmented valid AUC %v should beat baseline %v", valid, bv)
+	}
+}
+
+func TestBaselineScoresRequiresBaseFeatures(t *testing.T) {
+	p := tmallProblem(t)
+	p.BaseFeatures = nil
+	ev, err := NewEvaluator(p, ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ev.BaselineScores(); err == nil {
+		t.Fatal("no base features should fail")
+	}
+}
+
+func TestRegressionProblemLoss(t *testing.T) {
+	d := datagen.Merchant(datagen.Options{TrainRows: 300, LogsPerKey: 8, Seed: 22})
+	ev, err := NewEvaluator(problemFrom(t, d), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{
+		Agg: agg.Sum, AggAttr: "purchase_amount", Keys: ev.P.Keys,
+		Preds: []query.Predicate{
+			{Attr: "month_lag", Kind: query.PredRange, HasLo: true, Lo: -2},
+			{Attr: "approved", Kind: query.PredEq, BoolValue: true},
+		},
+	}
+	loss, err := ev.QueryLoss(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("RMSE loss should be positive, got %v", loss)
+	}
+	plain := query.Query{Agg: agg.Sum, AggAttr: "purchase_amount", Keys: ev.P.Keys}
+	plainLoss, err := ev.QueryLoss(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss >= plainLoss {
+		t.Fatalf("predicated RMSE %v should beat plain %v", loss, plainLoss)
+	}
+}
+
+func TestQueryLossPropagatesExecutionErrors(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := query.Query{Agg: agg.Count, AggAttr: "ghost", Keys: ev.P.Keys}
+	if _, err := ev.QueryLoss(bad); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	if _, _, err := ev.Feature(bad); err == nil {
+		t.Fatal("bad feature should fail")
+	}
+}
+
+func TestDegenerateFeatureGetsSentinelLoss(t *testing.T) {
+	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUM over a string column yields an all-NULL feature.
+	q := query.Query{Agg: agg.Sum, AggAttr: "action", Keys: ev.P.Keys}
+	loss, err := ev.QueryLoss(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != DegenerateLoss {
+		t.Fatalf("all-NULL feature loss = %v, want sentinel", loss)
+	}
+	// Cached on second call too.
+	loss2, _ := ev.QueryLoss(q)
+	if loss2 != DegenerateLoss {
+		t.Fatal("sentinel not cached")
+	}
+}
+
+func TestDegenerateHelper(t *testing.T) {
+	if !degenerate([]float64{1, 1, 1}, []bool{true, true, true}) {
+		t.Error("constant should be degenerate")
+	}
+	if !degenerate([]float64{0, 0}, []bool{false, false}) {
+		t.Error("all-NULL should be degenerate")
+	}
+	if degenerate([]float64{1, 2}, []bool{true, true}) {
+		t.Error("varying should not be degenerate")
+	}
+	if !degenerate(nil, nil) {
+		t.Error("empty should be degenerate")
+	}
+}

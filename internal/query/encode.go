@@ -1,0 +1,134 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Encode maps a query back onto its vector in the space — the inverse of
+// Decode, up to the discretisation of predicate values: equality values must
+// be inside the categorical domain, and range bounds snap to the nearest
+// grid point. Used to warm-start the optimiser from user-suggested queries.
+func (s *Space) Encode(q Query) ([]int, error) {
+	vec := make([]int, len(s.Dims))
+	// Aggregation function.
+	found := false
+	for i, f := range s.Template.Funcs {
+		if f == q.Agg {
+			vec[s.aggDim] = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("query: aggregation %s not in template", q.Agg)
+	}
+	// Aggregation attribute.
+	found = false
+	for i, a := range s.Template.AggAttrs {
+		if a == q.AggAttr {
+			vec[s.attrDim] = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("query: attribute %q not in template", q.AggAttr)
+	}
+	// Predicates: index by attribute.
+	preds := map[string]Predicate{}
+	for _, p := range q.Preds {
+		if _, dup := preds[p.Attr]; dup {
+			return nil, fmt.Errorf("query: duplicate predicate on %q", p.Attr)
+		}
+		preds[p.Attr] = p
+	}
+	di := s.predBase
+	for _, pd := range s.preds {
+		p, has := preds[pd.attr]
+		if has {
+			delete(preds, pd.attr)
+		}
+		if pd.isCat {
+			card := len(pd.catDomain) + 1
+			if pd.boolDomain {
+				card = 3
+			}
+			if !has {
+				vec[di] = card - 1 // None
+			} else if p.Kind != PredEq {
+				return nil, fmt.Errorf("query: attribute %q takes equality predicates", pd.attr)
+			} else if pd.boolDomain {
+				if p.BoolValue {
+					vec[di] = 1
+				} else {
+					vec[di] = 0
+				}
+			} else {
+				idx := -1
+				for i, v := range pd.catDomain {
+					if v == p.StrValue {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					return nil, fmt.Errorf("query: value %q outside the domain of %q", p.StrValue, pd.attr)
+				}
+				vec[di] = idx
+			}
+			di++
+			continue
+		}
+		// Numeric / datetime range dims: lo then hi, None = len(grid).
+		loIdx, hiIdx := len(pd.grid), len(pd.grid)
+		if has {
+			if p.Kind != PredRange {
+				return nil, fmt.Errorf("query: attribute %q takes range predicates", pd.attr)
+			}
+			if p.HasLo {
+				loIdx = nearestGridIndex(pd.grid, p.Lo)
+			}
+			if p.HasHi {
+				hiIdx = nearestGridIndex(pd.grid, p.Hi)
+			}
+		}
+		vec[di] = loIdx
+		vec[di+1] = hiIdx
+		di += 2
+	}
+	if len(preds) > 0 {
+		for attr := range preds {
+			return nil, fmt.Errorf("query: predicate attribute %q not in template", attr)
+		}
+	}
+	// Keys.
+	keySet := map[string]bool{}
+	for _, k := range q.Keys {
+		keySet[k] = true
+	}
+	for ki, k := range s.Template.Keys {
+		if keySet[k] {
+			vec[s.keyBase+ki] = 1
+			delete(keySet, k)
+		}
+	}
+	if len(keySet) > 0 {
+		for k := range keySet {
+			return nil, fmt.Errorf("query: group-by key %q not in template", k)
+		}
+	}
+	return vec, nil
+}
+
+// nearestGridIndex returns the grid index closest to v.
+func nearestGridIndex(grid []float64, v float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, g := range grid {
+		d := math.Abs(g - v)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

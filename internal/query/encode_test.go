@@ -1,0 +1,125 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := userLogs()
+	s, err := BuildSpace(r, exampleTemplate(), SpaceOptions{NumGridPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 100; trial++ {
+		vec := s.RandomVector(rng.Intn)
+		q, err := s.Decode(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := s.Encode(q)
+		if err != nil {
+			t.Fatalf("encode %s: %v", q.SQL("r"), err)
+		}
+		q2, err := s.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode(Encode(Decode(v))) must be semantically identical to
+		// Decode(v) (the vector itself may differ where Decode normalises,
+		// e.g. swapped bounds or the all-zero-keys fallback).
+		if q.SQL("r") != q2.SQL("r") {
+			t.Fatalf("round trip changed query:\n%s\n%s", q.SQL("r"), q2.SQL("r"))
+		}
+	}
+}
+
+func TestEncodeKnownQuery(t *testing.T) {
+	r := userLogs()
+	s, err := BuildSpace(r, exampleTemplate(), SpaceOptions{NumGridPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, _ := s.CatDomain("department")
+	q := Query{
+		Agg: agg.Avg, AggAttr: "pprice", Keys: []string{"cname"},
+		Preds: []Predicate{{Attr: "department", Kind: PredEq, StrValue: dom[0]}},
+	}
+	vec, err := s.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Decode(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SQL("r") != q.SQL("r") {
+		t.Fatalf("encode lost information: %s vs %s", back.SQL("r"), q.SQL("r"))
+	}
+}
+
+func TestEncodeSnapsBoundsToGrid(t *testing.T) {
+	r := userLogs()
+	s, err := BuildSpace(r, exampleTemplate(), SpaceOptions{NumGridPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := s.GridValue("timestamp")
+	q := Query{
+		Agg: agg.Sum, AggAttr: "pprice", Keys: []string{"cname"},
+		Preds: []Predicate{{Attr: "timestamp", Kind: PredRange, HasLo: true, Lo: grid[0] + 0.4}},
+	}
+	vec, err := s.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Decode(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Preds[0].Lo != grid[0] {
+		t.Fatalf("bound should snap to grid point %v, got %v", grid[0], back.Preds[0].Lo)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	r := userLogs()
+	s, err := BuildSpace(r, exampleTemplate(), SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Query{Agg: agg.Sum, AggAttr: "pprice", Keys: []string{"cname"}}
+	cases := []Query{
+		{Agg: agg.Entropy, AggAttr: "pprice", Keys: []string{"cname"}},                                                                          // fn not in template
+		{Agg: agg.Sum, AggAttr: "ghost", Keys: []string{"cname"}},                                                                               // attr not in template
+		{Agg: agg.Sum, AggAttr: "pprice", Keys: []string{"ghost"}},                                                                              // key not in template
+		withPreds(base, Predicate{Attr: "pname", Kind: PredEq, StrValue: "x"}),                                                                  // pred attr not in template
+		withPreds(base, Predicate{Attr: "department", Kind: PredEq, StrValue: "NotInDomain"}),                                                   // value outside domain
+		withPreds(base, Predicate{Attr: "department", Kind: PredRange, HasLo: true}),                                                            // wrong pred kind (cat)
+		withPreds(base, Predicate{Attr: "timestamp", Kind: PredEq, StrValue: "x"}),                                                              // wrong pred kind (num)
+		withPreds(base, Predicate{Attr: "timestamp", Kind: PredRange, HasLo: true}, Predicate{Attr: "timestamp", Kind: PredRange, HasHi: true}), // duplicate
+	}
+	for i, q := range cases {
+		if _, err := s.Encode(q); err == nil {
+			t.Errorf("case %d should fail: %s", i, q.SQL("r"))
+		}
+	}
+}
+
+func withPreds(q Query, preds ...Predicate) Query {
+	q.Preds = preds
+	return q
+}
+
+func TestNearestGridIndex(t *testing.T) {
+	grid := []float64{0, 10, 20}
+	cases := map[float64]int{-5: 0, 4: 0, 6: 1, 14: 1, 16: 2, 100: 2}
+	for v, want := range cases {
+		if got := nearestGridIndex(grid, v); got != want {
+			t.Errorf("nearest(%v) = %d, want %d", v, got, want)
+		}
+	}
+}

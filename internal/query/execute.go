@@ -1,0 +1,188 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/dataframe"
+)
+
+// Query is one predicate-aware SQL query from a template's pool:
+//
+//	SELECT k, agg(a) AS feature FROM R
+//	WHERE pred_1 AND ... AND pred_w
+//	GROUP BY k
+type Query struct {
+	Agg     agg.Func
+	AggAttr string
+	Preds   []Predicate
+	Keys    []string
+}
+
+// SQL renders the query as SQL text (for logs, docs and debugging).
+func (q Query) SQL(relName string) string {
+	var sb strings.Builder
+	keys := strings.Join(q.Keys, ", ")
+	fmt.Fprintf(&sb, "SELECT %s, %s(%s) AS feature FROM %s", keys, q.Agg, q.AggAttr, relName)
+	if len(q.Preds) > 0 {
+		parts := make([]string, len(q.Preds))
+		for i, p := range q.Preds {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&sb, " WHERE %s", strings.Join(parts, " AND "))
+	}
+	fmt.Fprintf(&sb, " GROUP BY %s", keys)
+	return sb.String()
+}
+
+// Name returns a short deterministic identifier for the feature the query
+// produces, safe to use as a column name.
+func (q Query) Name() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s_%s", strings.ToLower(q.Agg.String()), q.AggAttr)
+	for _, p := range q.Preds {
+		sb.WriteByte('_')
+		sb.WriteString(sanitize(p.String()))
+	}
+	return sb.String()
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ', r == '=', r == '.':
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// Execute evaluates the query against the relevant table r and returns the
+// result table q(R): one row per group with the key columns plus a float
+// column named featureName.
+func (q Query) Execute(r *dataframe.Table, featureName string) (*dataframe.Table, error) {
+	if len(q.Keys) == 0 {
+		return nil, fmt.Errorf("query: execute with no group-by keys")
+	}
+	aggCol := r.Column(q.AggAttr)
+	if aggCol == nil {
+		return nil, fmt.Errorf("query: no aggregation column %q", q.AggAttr)
+	}
+	mask := make([]bool, r.NumRows())
+	for i := range mask {
+		mask[i] = true
+	}
+	for _, p := range q.Preds {
+		if err := p.Eval(r, mask); err != nil {
+			return nil, err
+		}
+	}
+	keyCols, err := resolve(r, q.Keys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group the matching rows by composite key.
+	type group struct {
+		repr int // representative row for key output
+		rows []int
+	}
+	var order []string
+	groups := map[string]*group{}
+	for i := 0; i < r.NumRows(); i++ {
+		if !mask[i] {
+			continue
+		}
+		k := r.RowKey(i, keyCols)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{repr: i}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, i)
+	}
+
+	repr := make([]int, len(order))
+	vals := make([]float64, len(order))
+	valid := make([]bool, len(order))
+	useString := aggCol.Kind() == dataframe.KindString
+	if useString && !q.Agg.SupportsStrings() {
+		// A numeric aggregate over a categorical attribute is undefined;
+		// the result is an all-NULL feature (the optimiser learns to avoid
+		// these regions of the pool).
+		for gi, k := range order {
+			repr[gi] = groups[k].repr
+		}
+	} else {
+		var fbuf []float64
+		var sbuf []string
+		for gi, k := range order {
+			g := groups[k]
+			repr[gi] = g.repr
+			if useString {
+				sbuf = sbuf[:0]
+				for _, row := range g.rows {
+					if !aggCol.IsNull(row) {
+						sbuf = append(sbuf, aggCol.Str(row))
+					}
+				}
+				vals[gi], valid[gi] = q.Agg.StringApply(sbuf, len(g.rows))
+			} else {
+				fbuf = fbuf[:0]
+				for _, row := range g.rows {
+					if v, ok := aggCol.AsFloat(row); ok {
+						fbuf = append(fbuf, v)
+					}
+				}
+				vals[gi], valid[gi] = q.Agg.Apply(fbuf, len(g.rows))
+			}
+		}
+	}
+
+	out := dataframe.MustNewTable()
+	for _, kc := range keyCols {
+		if err := out.AddColumn(kc.Take(repr)); err != nil {
+			return nil, err
+		}
+	}
+	if featureName == "" {
+		featureName = "feature"
+	}
+	if err := out.AddColumn(dataframe.NewFloatColumn(featureName, vals, valid)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Augment executes the query against r and left-joins the feature onto the
+// training table d (Definition 3), returning the augmented table D_q. The
+// feature column is named featureName.
+func (q Query) Augment(d, r *dataframe.Table, featureName string) (*dataframe.Table, error) {
+	res, err := q.Execute(r, featureName)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range q.Keys {
+		if !d.HasColumn(k) {
+			return nil, fmt.Errorf("query: training table has no join key %q", k)
+		}
+	}
+	return d.LeftJoin(res, q.Keys, q.Keys)
+}
+
+func resolve(t *dataframe.Table, names []string) ([]*dataframe.Column, error) {
+	cols := make([]*dataframe.Column, len(names))
+	for i, n := range names {
+		c := t.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("query: no column %q", n)
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}

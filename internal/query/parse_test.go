@@ -1,0 +1,195 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+)
+
+func TestParseSQLPaperExample(t *testing.T) {
+	sql := `SELECT cname, AVG(pprice) AS avgprice FROM User_Logs ` +
+		`WHERE department = "Electronics" AND timestamp >= 2023-07-01 GROUP BY cname`
+	q, rel, err := ParseSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "User_Logs" {
+		t.Fatalf("rel = %s", rel)
+	}
+	if q.Agg != agg.Avg || q.AggAttr != "pprice" {
+		t.Fatalf("agg = %s(%s)", q.Agg, q.AggAttr)
+	}
+	if len(q.Keys) != 1 || q.Keys[0] != "cname" {
+		t.Fatalf("keys = %v", q.Keys)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %v", q.Preds)
+	}
+	if q.Preds[0].Kind != PredEq || q.Preds[0].StrValue != "Electronics" {
+		t.Fatalf("pred0 = %+v", q.Preds[0])
+	}
+	if q.Preds[1].Kind != PredRange || !q.Preds[1].HasLo || q.Preds[1].HasHi {
+		t.Fatalf("pred1 = %+v", q.Preds[1])
+	}
+	// 2023-07-01 → unix seconds
+	if q.Preds[1].Lo != 1688169600 {
+		t.Fatalf("date bound = %v", q.Preds[1].Lo)
+	}
+}
+
+func TestParseSQLVariants(t *testing.T) {
+	cases := []string{
+		`SELECT k, COUNT(x) AS feature FROM r GROUP BY k`,
+		`SELECT k, SUM(x) FROM r WHERE flag = true GROUP BY k`,
+		`SELECT k, MAX(x) FROM r WHERE a = 'v' AND b <= 10 GROUP BY k`,
+		`SELECT k, MIN(x) FROM r WHERE t BETWEEN 1 AND 5 GROUP BY k`,
+		`SELECT u, m, COUNT_DISTINCT(x) FROM r GROUP BY u, m`,
+		`select k, avg(x) from r group by k`, // case-insensitive keywords
+	}
+	for _, sql := range cases {
+		if _, _, err := ParseSQL(sql); err != nil {
+			t.Errorf("%s: %v", sql, err)
+		}
+	}
+}
+
+func TestParseSQLCompositeKeys(t *testing.T) {
+	q, _, err := ParseSQL(`SELECT user_id, merchant_id, SUM(price) FROM logs GROUP BY user_id, merchant_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Keys) != 2 || q.Keys[0] != "user_id" || q.Keys[1] != "merchant_id" {
+		t.Fatalf("keys = %v", q.Keys)
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`UPDATE r SET x = 1`,
+		`SELECT k, NOPE(x) FROM r GROUP BY k`,
+		`SELECT k, SUM(x FROM r GROUP BY k`,
+		`SELECT k, SUM(x) FROM r WHERE a ~ 1 GROUP BY k`,
+		`SELECT k, SUM(x) FROM r WHERE a = unquoted GROUP BY k`,
+		`SELECT k, SUM(x) FROM r WHERE a >= notanumber GROUP BY k`,
+		`SELECT k, SUM(x) FROM r WHERE t BETWEEN 5 AND 1 GROUP BY k`,
+		`SELECT k, SUM(x) FROM r WHERE t BETWEEN 1 OR 5 GROUP BY k`,
+		`SELECT k, SUM(x) FROM r GROUP BY`,
+		`SELECT k, SUM(x) FROM r GROUP BY other`,
+		`SELECT k, SUM(x) FROM r`,
+	}
+	for _, sql := range cases {
+		if _, _, err := ParseSQL(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+}
+
+func TestParseSQLBoundFormats(t *testing.T) {
+	q, _, err := ParseSQL(`SELECT k, SUM(x) FROM r WHERE t >= 2023-07-01T00:00:00Z GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Lo != 1688169600 {
+		t.Fatalf("RFC3339 bound = %v", q.Preds[0].Lo)
+	}
+	q, _, err = ParseSQL(`SELECT k, SUM(x) FROM r WHERE t <= "42.5" GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Hi != 42.5 {
+		t.Fatalf("quoted numeric bound = %v", q.Preds[0].Hi)
+	}
+}
+
+// TestParseSQLRoundTrip: rendering a parsed query reproduces the parse, and
+// every randomly decoded query survives SQL → ParseSQL → SQL.
+func TestParseSQLRoundTrip(t *testing.T) {
+	r := userLogs()
+	s, err := BuildSpace(r, exampleTemplate(), SpaceOptions{NumGridPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	count := 0
+	f := func(seed int64) bool {
+		vec := s.RandomVector(rng.Intn)
+		q, err := s.Decode(vec)
+		if err != nil {
+			return false
+		}
+		sql := q.SQL("logs")
+		parsed, rel, err := ParseSQL(sql)
+		if err != nil {
+			t.Logf("parse failed for %s: %v", sql, err)
+			return false
+		}
+		count++
+		return rel == "logs" && parsed.SQL("logs") == sql
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	if count == 0 {
+		t.Fatal("no round trips exercised")
+	}
+}
+
+func TestParsedQueryExecutesLikeOriginal(t *testing.T) {
+	r := userLogs()
+	orig := Query{
+		Agg:     agg.Avg,
+		AggAttr: "pprice",
+		Preds: []Predicate{
+			{Attr: "department", Kind: PredEq, StrValue: "Electronics"},
+			{Attr: "timestamp", Kind: PredRange, HasLo: true, Lo: 200},
+		},
+		Keys: []string{"cname"},
+	}
+	parsed, _, err := ParseSQL(orig.SQL("logs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := orig.Execute(r, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parsed.Execute(r, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if a.Column("f").Float(i) != b.Column("f").Float(i) {
+			t.Fatal("parsed query computes different feature")
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := tokenize(`SELECT a, SUM(x) FROM r WHERE s = "hello world" AND t >= 5`)
+	want := []string{"SELECT", "a", ",", "SUM", "(", "x", ")", "FROM", "r",
+		"WHERE", "s", "=", `"hello world"`, "AND", "t", ">=", "5"}
+	if len(toks) != len(want) {
+		t.Fatalf("toks = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tok %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+	// unterminated quote consumes to end without panicking
+	toks = tokenize(`a = "unterminated`)
+	if len(toks) != 3 {
+		t.Fatalf("unterminated toks = %v", toks)
+	}
+	// bare < and > tokens
+	toks = tokenize(`a < b > c`)
+	if toks[1] != "<" || toks[3] != ">" {
+		t.Fatalf("bare comparison toks = %v", toks)
+	}
+}

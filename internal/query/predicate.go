@@ -1,0 +1,129 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dataframe"
+)
+
+// PredKind distinguishes equality predicates (categorical / boolean
+// attributes) from range predicates (numeric / datetime attributes), matching
+// Definition 2.
+type PredKind int
+
+// Predicate kinds.
+const (
+	PredEq PredKind = iota
+	PredRange
+)
+
+// Predicate is one conjunct of a WHERE clause. For PredEq exactly one of
+// StrValue/BoolValue is meaningful depending on the column kind. For
+// PredRange, HasLo/HasHi select between two-sided and one-sided ranges
+// (Definition 2 explicitly includes one-sided ranges); bounds are inclusive.
+type Predicate struct {
+	Attr      string
+	Kind      PredKind
+	StrValue  string
+	BoolValue bool
+	HasLo     bool
+	HasHi     bool
+	Lo        float64
+	Hi        float64
+}
+
+// String renders the predicate in SQL syntax.
+func (p Predicate) String() string {
+	switch p.Kind {
+	case PredEq:
+		if p.StrValue != "" {
+			return fmt.Sprintf("%s = %q", p.Attr, p.StrValue)
+		}
+		return fmt.Sprintf("%s = %v", p.Attr, p.BoolValue)
+	case PredRange:
+		switch {
+		case p.HasLo && p.HasHi:
+			return fmt.Sprintf("%s BETWEEN %s AND %s", p.Attr, fmtBound(p.Lo), fmtBound(p.Hi))
+		case p.HasLo:
+			return fmt.Sprintf("%s >= %s", p.Attr, fmtBound(p.Lo))
+		case p.HasHi:
+			return fmt.Sprintf("%s <= %s", p.Attr, fmtBound(p.Hi))
+		default:
+			return p.Attr + " IS ANYTHING"
+		}
+	}
+	return "?"
+}
+
+func fmtBound(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// StringTime renders a bound as RFC3339 when the caller knows the column is a
+// timestamp; used only for pretty-printing SQL.
+func StringTime(v float64) string {
+	return time.Unix(int64(v), 0).UTC().Format("2006-01-02")
+}
+
+// Trivial reports whether the predicate filters nothing (a range with no
+// bounds). Trivial predicates are dropped from queries.
+func (p Predicate) Trivial() bool {
+	return p.Kind == PredRange && !p.HasLo && !p.HasHi
+}
+
+// Eval builds the row mask of the predicate over table r. Rows with NULL in
+// the predicate attribute never match (SQL three-valued logic collapses to
+// false in a WHERE clause).
+func (p Predicate) Eval(r *dataframe.Table, mask []bool) error {
+	col := r.Column(p.Attr)
+	if col == nil {
+		return fmt.Errorf("query: predicate on missing column %q", p.Attr)
+	}
+	n := r.NumRows()
+	if len(mask) != n {
+		return fmt.Errorf("query: mask length %d != rows %d", len(mask), n)
+	}
+	switch p.Kind {
+	case PredEq:
+		switch col.Kind() {
+		case dataframe.KindString:
+			for i := 0; i < n; i++ {
+				if mask[i] {
+					mask[i] = !col.IsNull(i) && col.Str(i) == p.StrValue
+				}
+			}
+		case dataframe.KindBool:
+			for i := 0; i < n; i++ {
+				if mask[i] {
+					mask[i] = !col.IsNull(i) && col.Bool(i) == p.BoolValue
+				}
+			}
+		default:
+			return fmt.Errorf("query: equality predicate on %s column %q", col.Kind(), p.Attr)
+		}
+	case PredRange:
+		if !col.Kind().IsNumeric() {
+			return fmt.Errorf("query: range predicate on %s column %q", col.Kind(), p.Attr)
+		}
+		for i := 0; i < n; i++ {
+			if !mask[i] {
+				continue
+			}
+			v, ok := col.AsFloat(i)
+			if !ok {
+				mask[i] = false
+				continue
+			}
+			if p.HasLo && v < p.Lo {
+				mask[i] = false
+				continue
+			}
+			if p.HasHi && v > p.Hi {
+				mask[i] = false
+			}
+		}
+	default:
+		return fmt.Errorf("query: unknown predicate kind %d", p.Kind)
+	}
+	return nil
+}

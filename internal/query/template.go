@@ -1,0 +1,94 @@
+// Package query defines the paper's core objects: query templates
+// T = (F, A, P, K) (Definition 1), predicate-aware SQL queries drawn from a
+// template's query pool (Definition 2), the vector encoding that maps a pool
+// onto a discrete hyper-parameter search space (Section V.A), and an executor
+// that evaluates a query against a relevant table and joins the resulting
+// feature onto the training table (Definition 3).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/dataframe"
+)
+
+// Template is the quadruple T = (F, A, P, K): aggregation functions,
+// aggregatable attributes, the fixed attribute combination forming the WHERE
+// clause, and the foreign-key attributes joining R to D.
+type Template struct {
+	Funcs     []agg.Func // F
+	AggAttrs  []string   // A — attributes of R that can be aggregated
+	PredAttrs []string   // P — attributes of R forming the WHERE clause
+	Keys      []string   // K — foreign-key attributes (group-by / join keys)
+}
+
+// String renders the template in the paper's tuple notation.
+func (t Template) String() string {
+	fs := make([]string, len(t.Funcs))
+	for i, f := range t.Funcs {
+		fs[i] = f.String()
+	}
+	return fmt.Sprintf("([%s], [%s], [%s], [%s])",
+		strings.Join(fs, " "), strings.Join(t.AggAttrs, " "),
+		strings.Join(t.PredAttrs, " "), strings.Join(t.Keys, " "))
+}
+
+// Validate checks the template against a relevant table: every referenced
+// attribute must exist, F and A must be non-empty, and K must be non-empty.
+// P may be empty (a predicate-free template is exactly a Featuretools query).
+func (t Template) Validate(r *dataframe.Table) error {
+	if len(t.Funcs) == 0 {
+		return fmt.Errorf("query: template has no aggregation functions")
+	}
+	if len(t.AggAttrs) == 0 {
+		return fmt.Errorf("query: template has no aggregation attributes")
+	}
+	if len(t.Keys) == 0 {
+		return fmt.Errorf("query: template has no foreign-key attributes")
+	}
+	for _, lists := range [][]string{t.AggAttrs, t.PredAttrs, t.Keys} {
+		for _, name := range lists {
+			if !r.HasColumn(name) {
+				return fmt.Errorf("query: relevant table has no column %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// WithPredAttrs returns a copy of the template with a different WHERE-clause
+// attribute combination; used by query-template identification when it walks
+// the subset tree.
+func (t Template) WithPredAttrs(attrs []string) Template {
+	cp := t
+	cp.PredAttrs = append([]string(nil), attrs...)
+	return cp
+}
+
+// EncodeAttrSet one-hot encodes an attribute combination over the universe
+// attr (Section VI.C "Encoding Query Templates"). The universe order is the
+// caller's; unknown members are ignored.
+func EncodeAttrSet(universe, members []string) []float64 {
+	set := map[string]bool{}
+	for _, m := range members {
+		set[m] = true
+	}
+	enc := make([]float64, len(universe))
+	for i, a := range universe {
+		if set[a] {
+			enc[i] = 1
+		}
+	}
+	return enc
+}
+
+// CanonicalAttrKey returns an order-independent identity for an attribute
+// combination, used to deduplicate tree nodes in beam search.
+func CanonicalAttrKey(attrs []string) string {
+	s := append([]string(nil), attrs...)
+	sort.Strings(s)
+	return strings.Join(s, "\x1f")
+}

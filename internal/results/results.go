@@ -1,0 +1,164 @@
+// Package results persists experiment outcomes as JSON and renders markdown
+// summaries, so regenerated paper tables can be archived and diffed across
+// runs (the EXPERIMENTS.md workflow).
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Run is one archived experiment invocation.
+type Run struct {
+	// Experiment is the table/figure id ("table3", "fig5", ...).
+	Experiment string `json:"experiment"`
+	// When is the wall-clock time of the run (RFC3339).
+	When string `json:"when"`
+	// Config echoes the knobs that produced the numbers.
+	Config map[string]interface{} `json:"config,omitempty"`
+	// Rows are the result records.
+	Rows []Row `json:"rows"`
+}
+
+// Row is one result record, generic across tables and figures.
+type Row struct {
+	Dataset string  `json:"dataset"`
+	Model   string  `json:"model,omitempty"`
+	Method  string  `json:"method,omitempty"`
+	X       float64 `json:"x,omitempty"`
+	Metric  float64 `json:"metric"`
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// NewRun stamps a run with the current time.
+func NewRun(experiment string, cfg map[string]interface{}) *Run {
+	return &Run{
+		Experiment: experiment,
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Config:     cfg,
+	}
+}
+
+// Add appends one record.
+func (r *Run) Add(row Row) { r.Rows = append(r.Rows, row) }
+
+// WriteJSON serialises the run, indented for diffability.
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a run written by WriteJSON.
+func ReadJSON(rd io.Reader) (*Run, error) {
+	var run Run
+	if err := json.NewDecoder(rd).Decode(&run); err != nil {
+		return nil, fmt.Errorf("results: decode: %w", err)
+	}
+	return &run, nil
+}
+
+// WriteMarkdown renders the run as a GitHub-flavoured markdown table, one
+// row per record, columns chosen by which fields are populated.
+func (r *Run) WriteMarkdown(w io.Writer) error {
+	hasModel, hasMethod, hasX, hasSecs := false, false, false, false
+	for _, row := range r.Rows {
+		hasModel = hasModel || row.Model != ""
+		hasMethod = hasMethod || row.Method != ""
+		hasX = hasX || row.X != 0
+		hasSecs = hasSecs || row.Seconds != 0
+	}
+	header := []string{"Dataset"}
+	if hasModel {
+		header = append(header, "Model")
+	}
+	if hasMethod {
+		header = append(header, "Method")
+	}
+	if hasX {
+		header = append(header, "X")
+	}
+	header = append(header, "Metric")
+	if hasSecs {
+		header = append(header, "Seconds")
+	}
+	if _, err := fmt.Fprintf(w, "## %s (%s)\n\n", r.Experiment, r.When); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", joinCells(cells))
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	rows := append([]Row(nil), r.Rows...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].Dataset != rows[b].Dataset {
+			return rows[a].Dataset < rows[b].Dataset
+		}
+		if rows[a].Model != rows[b].Model {
+			return rows[a].Model < rows[b].Model
+		}
+		return rows[a].Method < rows[b].Method
+	})
+	for _, row := range rows {
+		cells := []string{row.Dataset}
+		if hasModel {
+			cells = append(cells, row.Model)
+		}
+		if hasMethod {
+			cells = append(cells, row.Method)
+		}
+		if hasX {
+			cells = append(cells, fmt.Sprintf("%g", row.X))
+		}
+		cells = append(cells, fmt.Sprintf("%.4f", row.Metric))
+		if hasSecs {
+			cells = append(cells, fmt.Sprintf("%.3f", row.Seconds))
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinCells(cells []string) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += " | "
+		}
+		out += c
+	}
+	return out
+}
+
+// Compare diffs two runs of the same experiment by (dataset, model, method)
+// key, returning per-key metric deltas (b − a). Keys present in only one run
+// are skipped.
+func Compare(a, b *Run) map[string]float64 {
+	key := func(r Row) string { return r.Dataset + "/" + r.Model + "/" + r.Method }
+	av := map[string]float64{}
+	for _, r := range a.Rows {
+		av[key(r)] = r.Metric
+	}
+	out := map[string]float64{}
+	for _, r := range b.Rows {
+		if base, ok := av[key(r)]; ok {
+			out[key(r)] = r.Metric - base
+		}
+	}
+	return out
+}

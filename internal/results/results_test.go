@@ -1,0 +1,102 @@
+package results
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRun() *Run {
+	r := NewRun("table3", map[string]interface{}{"rows": 400})
+	r.Add(Row{Dataset: "tmall", Model: "LR", Method: "FeatAug", Metric: 0.58})
+	r.Add(Row{Dataset: "tmall", Model: "LR", Method: "FT", Metric: 0.55})
+	return r
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "table3" || len(back.Rows) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Rows[0].Metric != 0.58 {
+		t.Fatal("metric lost")
+	}
+	if back.Config["rows"].(float64) != 400 {
+		t.Fatal("config lost")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"## table3", "| Dataset | Model | Method | Metric |",
+		"| --- |", "FeatAug", "0.5800"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+	// No X / Seconds columns when unpopulated.
+	if strings.Contains(out, "| X |") || strings.Contains(out, "Seconds") {
+		t.Fatal("unused columns should be omitted")
+	}
+}
+
+func TestWriteMarkdownWithSweepColumns(t *testing.T) {
+	r := NewRun("fig8", nil)
+	r.Add(Row{Dataset: "merchant", Model: "LR", X: 200, Metric: 0, Seconds: 0.3})
+	r.Add(Row{Dataset: "merchant", Model: "LR", X: 400, Metric: 0, Seconds: 0.6})
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| X |") || !strings.Contains(out, "Seconds") {
+		t.Fatalf("sweep columns missing:\n%s", out)
+	}
+}
+
+func TestMarkdownSorted(t *testing.T) {
+	r := NewRun("t", nil)
+	r.Add(Row{Dataset: "b", Method: "m", Metric: 1})
+	r.Add(Row{Dataset: "a", Method: "m", Metric: 2})
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "| a |") > strings.Index(out, "| b |") {
+		t.Fatal("rows not sorted by dataset")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := sampleRun()
+	b := sampleRun()
+	b.Rows[0].Metric = 0.60
+	b.Add(Row{Dataset: "new", Method: "x", Metric: 1}) // only in b — skipped
+	diff := Compare(a, b)
+	if len(diff) != 2 {
+		t.Fatalf("diff = %v", diff)
+	}
+	if d := diff["tmall/LR/FeatAug"]; d < 0.019 || d > 0.021 {
+		t.Fatalf("delta = %v", d)
+	}
+}
