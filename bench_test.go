@@ -13,11 +13,15 @@ package repro
 // Budgets are deliberately small; use cmd/feataug -paper for full-scale runs.
 
 import (
+	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/agg"
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/ml"
+	"repro/internal/query"
 )
 
 // benchConfig is the shared laptop-scale budget.
@@ -224,6 +228,94 @@ func BenchmarkFig9RelevantRows(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchQueryPool builds one relevant table plus a pool of candidate queries
+// the way every search procedure produces them: random draws from one
+// template's discrete space, so group-by keys repeat and predicates are
+// heavily reused across queries.
+func benchQueryPool(b *testing.B, numQueries int) (*Table, []query.Query) {
+	b.Helper()
+	d := datagen.Tmall(datagen.Options{TrainRows: 400, LogsPerKey: 12, Seed: 3})
+	tpl := query.Template{
+		Funcs:     agg.All(),
+		AggAttrs:  d.AggAttrs,
+		PredAttrs: d.PredAttrs,
+		Keys:      d.Keys,
+	}
+	s, err := query.BuildSpace(d.Relevant, tpl, query.SpaceOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	qs := make([]query.Query, numQueries)
+	for i := range qs {
+		q, err := s.Decode(s.RandomVector(rng.Intn))
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return d.Relevant, qs
+}
+
+// BenchmarkExecutePerQuery is the pre-executor hot path: every candidate
+// query regroups the relevant table from scratch.
+func BenchmarkExecutePerQuery(b *testing.B) {
+	r, qs := benchQueryPool(b, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := q.Execute(r, "feature"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkExecuteBatch is the executor path over the same pool. The executor
+// is rebuilt every iteration, so each measured batch starts with cold caches;
+// the speedup comes from intra-batch sharing of group indexes and predicate
+// bitmaps plus the worker pool.
+func BenchmarkExecuteBatch(b *testing.B) {
+	r, qs := benchQueryPool(b, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := query.NewExecutor(r)
+		if _, err := ex.ExecuteBatch(qs, "feature"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkExecuteBatchSpeedup times both paths on one batch of ≥100 queries
+// against one relevant table and reports the throughput ratio; the
+// acceptance bar for this subsystem is ≥2×.
+func BenchmarkExecuteBatchSpeedup(b *testing.B) {
+	r, qs := benchQueryPool(b, 120)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for _, q := range qs {
+			if _, err := q.Execute(r, "feature"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perQuery := time.Since(t0)
+		ex := query.NewExecutor(r)
+		t1 := time.Now()
+		if _, err := ex.ExecuteBatch(qs, "feature"); err != nil {
+			b.Fatal(err)
+		}
+		batch := time.Since(t1)
+		if batch > 0 {
+			ratio = perQuery.Seconds() / batch.Seconds()
+		}
+	}
+	b.ReportMetric(ratio, "speedup_batch_vs_perquery")
 }
 
 // methodGap extracts metric(methodA) − metric(methodB) from a cell list.

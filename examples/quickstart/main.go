@@ -112,6 +112,20 @@ func main() {
 		fmt.Printf("  %s   (validation loss %.4f)\n", gq.Query.SQL("User_Logs"), gq.Loss)
 	}
 
+	// The batch executor is how everything above ran under the hood: one
+	// group index per key-set and one bitmap per predicate, shared across
+	// queries, with the batch evaluated on a worker pool. It is also the
+	// fast path for serving query results directly:
+	ex := repro.NewExecutor(userLogs)
+	tables, err := ex.ExecuteBatch(res.QueryList(), "feature")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPer-customer feature tables from one executor batch:")
+	for i, tbl := range tables {
+		fmt.Printf("  query %d -> %d groups\n", i, tbl.NumRows())
+	}
+
 	// Compare the model with and without the generated features.
 	ev, err := repro.NewEvaluator(p, repro.ModelXGB, 7)
 	if err != nil {

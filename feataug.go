@@ -5,7 +5,11 @@
 //
 //   - a columnar dataframe engine (tables, group-by, joins, CSV I/O),
 //   - the 15 aggregation functions of the paper's query templates,
-//   - predicate-aware SQL query objects, templates, pools and an executor,
+//   - predicate-aware SQL query objects, templates and pools, plus a cached
+//     batch executor: one shared group index per key-set, one bitmap per
+//     predicate, and a worker pool that evaluates whole candidate batches
+//     concurrently (ExecuteBatch) — the engine, the baselines and the
+//     evaluator all execute queries through it,
 //   - a TPE hyper-parameter optimiser with warm-starting,
 //   - LR / RF / XGBoost-style GBDT / DeepFM downstream models and metrics,
 //   - the FeatAug engine itself (SQL query generation + query template
@@ -54,7 +58,15 @@ type (
 	Predicate = query.Predicate
 	// Space is the discrete search space of a template's query pool.
 	Space = query.Space
+	// Executor is the cached, parallel batch query executor: group indexes
+	// and predicate bitmaps are computed once per relevant table and shared
+	// by every query executed through it.
+	Executor = query.Executor
 )
+
+// NewExecutor builds a batch executor over one relevant table. Evaluators
+// construct their own internally; use this to run query batches directly.
+func NewExecutor(r *Table) *Executor { return query.NewExecutor(r) }
 
 // FeatAug engine.
 type (

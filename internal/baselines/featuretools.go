@@ -95,17 +95,15 @@ type FeatureMatrix struct {
 	Valid   [][]bool
 }
 
-// Materialize executes all queries through the evaluator's cache.
+// Materialize executes all queries through the evaluator's cache, running
+// the uncached ones concurrently on the shared batch executor.
 func Materialize(e *pipeline.Evaluator, qs []query.Query) (*FeatureMatrix, error) {
 	fm := &FeatureMatrix{Queries: qs}
-	for _, q := range qs {
-		vals, valid, err := e.Feature(q)
-		if err != nil {
-			return nil, fmt.Errorf("baselines: materialise %s: %w", q.SQL("R"), err)
-		}
-		fm.Vals = append(fm.Vals, vals)
-		fm.Valid = append(fm.Valid, valid)
+	vals, valid, err := e.FeatureBatch(qs)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: materialise %d queries: %w", len(qs), err)
 	}
+	fm.Vals, fm.Valid = vals, valid
 	return fm, nil
 }
 

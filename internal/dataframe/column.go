@@ -7,6 +7,7 @@ package dataframe
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 )
 
@@ -221,23 +222,32 @@ func (c *Column) Value(i int) interface{} {
 // KeyString returns a canonical string for group-by / join hashing, with a
 // sentinel for NULL.
 func (c *Column) KeyString(i int) string {
+	return string(c.AppendKey(nil, i))
+}
+
+// AppendKey appends the canonical key form of row i to b — KeyString without
+// the per-call allocation, for hot grouping and join loops.
+func (c *Column) AppendKey(b []byte, i int) []byte {
 	if !c.valid[i] {
-		return "\x00NULL"
+		return append(b, "\x00NULL"...)
 	}
 	switch c.kind {
 	case KindInt, KindTime:
-		return fmt.Sprintf("i%d", c.ints[i])
+		b = append(b, 'i')
+		return strconv.AppendInt(b, c.ints[i], 10)
 	case KindFloat:
-		return fmt.Sprintf("f%g", c.floats[i])
+		b = append(b, 'f')
+		return strconv.AppendFloat(b, c.floats[i], 'g', -1, 64)
 	case KindString:
-		return "s" + c.strs[i]
+		b = append(b, 's')
+		return append(b, c.strs[i]...)
 	case KindBool:
 		if c.bools[i] {
-			return "b1"
+			return append(b, "b1"...)
 		}
-		return "b0"
+		return append(b, "b0"...)
 	}
-	return ""
+	return b
 }
 
 // Take returns a new column containing the rows listed in idx, in order.

@@ -14,24 +14,31 @@ type Groups struct {
 
 // GroupBy partitions the table rows by the composite value of the named key
 // columns. NULL keys form their own group, matching SQL GROUP BY semantics.
+// The row scan is shared with the query executor via BuildGroupIndex.
 func (t *Table) GroupBy(keyCols ...string) (*Groups, error) {
-	cols, err := t.resolveColumns(keyCols)
+	gi, err := t.BuildGroupIndex(keyCols...)
 	if err != nil {
 		return nil, err
 	}
 	g := &Groups{
 		src:    t,
-		keys:   cols,
-		byKey:  map[string][]int{},
-		sample: map[string]int{},
+		keys:   gi.keys,
+		order:  gi.keyStrs,
+		byKey:  make(map[string][]int, gi.NumGroups()),
+		sample: make(map[string]int, gi.NumGroups()),
 	}
-	for i := 0; i < t.nrows; i++ {
-		k := t.RowKey(i, cols)
-		if _, ok := g.byKey[k]; !ok {
-			g.order = append(g.order, k)
-			g.sample[k] = i
-		}
-		g.byKey[k] = append(g.byKey[k], i)
+	// Pre-size the per-group row lists from the index's counts, then fill
+	// them with one pass over the integer group ids.
+	rows := make([][]int, gi.NumGroups())
+	for gid, size := range gi.sizes {
+		rows[gid] = make([]int, 0, size)
+	}
+	for i, gid := range gi.rowGID {
+		rows[gid] = append(rows[gid], i)
+	}
+	for gid, k := range gi.keyStrs {
+		g.byKey[k] = rows[gid]
+		g.sample[k] = gi.repr[gid]
 	}
 	return g, nil
 }

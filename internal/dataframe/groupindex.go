@@ -1,0 +1,76 @@
+package dataframe
+
+// GroupIndex is a precomputed partition of a table's rows by a key-set: every
+// row is assigned an integer group id (numbered in first-seen order), so
+// repeated grouping work against the same (table, key-set) pair reduces to
+// integer array lookups instead of string-keyed hashing. It is the shared
+// substrate of both GroupBy and the query executor: computed once, reused by
+// every query that groups on the same keys.
+type GroupIndex struct {
+	src     *Table
+	keys    []*Column
+	rowGID  []int    // group id per row
+	repr    []int    // first row of each group
+	sizes   []int    // rows per group
+	keyStrs []string // composite key string per group, first-seen order
+}
+
+// BuildGroupIndex scans the table once and assigns every row its group id
+// under the composite value of the named key columns. NULL keys form their
+// own group, matching SQL GROUP BY semantics.
+func (t *Table) BuildGroupIndex(keyCols ...string) (*GroupIndex, error) {
+	cols, err := t.resolveColumns(keyCols)
+	if err != nil {
+		return nil, err
+	}
+	g := &GroupIndex{
+		src:    t,
+		keys:   cols,
+		rowGID: make([]int, t.nrows),
+	}
+	ids := make(map[string]int)
+	buf := make([]byte, 0, 48)
+	for i := 0; i < t.nrows; i++ {
+		buf = appendRowKey(buf[:0], i, cols)
+		// string(buf) in the lookup does not allocate; the key string is
+		// only materialised when a new group is created.
+		gid, ok := ids[string(buf)]
+		if !ok {
+			gid = len(g.repr)
+			k := string(buf)
+			ids[k] = gid
+			g.repr = append(g.repr, i)
+			g.sizes = append(g.sizes, 0)
+			g.keyStrs = append(g.keyStrs, k)
+		}
+		g.rowGID[i] = gid
+		g.sizes[gid]++
+	}
+	return g, nil
+}
+
+// NumGroups returns the number of distinct composite keys.
+func (g *GroupIndex) NumGroups() int { return len(g.repr) }
+
+// NumRows returns the number of rows in the indexed table.
+func (g *GroupIndex) NumRows() int { return len(g.rowGID) }
+
+// GroupOf returns the group id of a row.
+func (g *GroupIndex) GroupOf(row int) int { return g.rowGID[row] }
+
+// RowGroups exposes the per-row group-id slice. The slice is shared; callers
+// must not mutate it.
+func (g *GroupIndex) RowGroups() []int { return g.rowGID }
+
+// Repr returns the representative (first) row of a group.
+func (g *GroupIndex) Repr(gid int) int { return g.repr[gid] }
+
+// Size returns the number of rows in a group.
+func (g *GroupIndex) Size(gid int) int { return g.sizes[gid] }
+
+// Key returns the composite key string of a group.
+func (g *GroupIndex) Key(gid int) string { return g.keyStrs[gid] }
+
+// KeyColumns returns the key columns the index was built over. The slice is
+// shared; callers must not mutate it.
+func (g *GroupIndex) KeyColumns() []*Column { return g.keys }

@@ -211,14 +211,18 @@ func (t *Table) SortBy(name string) (*Table, error) {
 // RowKey builds the composite group/join key for a row over the given
 // columns.
 func (t *Table) RowKey(row int, cols []*Column) string {
-	var sb strings.Builder
+	return string(appendRowKey(nil, row, cols))
+}
+
+// appendRowKey is RowKey into a reusable buffer, for hot grouping loops.
+func appendRowKey(b []byte, row int, cols []*Column) []byte {
 	for j, c := range cols {
 		if j > 0 {
-			sb.WriteByte('\x1f')
+			b = append(b, '\x1f')
 		}
-		sb.WriteString(c.KeyString(row))
+		b = c.AppendKey(b, row)
 	}
-	return sb.String()
+	return b
 }
 
 // resolveColumns maps names to columns, failing on the first unknown name.

@@ -1,10 +1,6 @@
 package experiments
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "repro/internal/par"
 
 // job is one independent experiment cell to compute.
 type job func() (Cell, error)
@@ -12,48 +8,17 @@ type job func() (Cell, error)
 // runJobs executes jobs with bounded parallelism, preserving result order.
 // Parallelism is governed by Config.Parallel (0 → GOMAXPROCS). Every cell is
 // deterministic given its own seed, so concurrency does not change results —
-// only wall time, mirroring the paper's 32-vCPU runs.
+// only wall time, mirroring the paper's 32-vCPU runs. The pool scaffold is
+// shared with the batch query executor via internal/par.
 func runJobs(parallel int, jobs []job) ([]Cell, error) {
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	if parallel > len(jobs) {
-		parallel = len(jobs)
-	}
-	if parallel <= 1 {
-		out := make([]Cell, 0, len(jobs))
-		for _, j := range jobs {
-			c, err := j()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, c)
-		}
-		return out, nil
-	}
 	results := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallel)
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("experiments: job %d panicked: %v", i, r)
-				}
-			}()
-			results[i], errs[i] = j()
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := par.ForEach(parallel, len(jobs), func(i int) error {
+		c, err := jobs[i]()
+		results[i] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

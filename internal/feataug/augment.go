@@ -93,14 +93,16 @@ func (e *Engine) Run() (*Result, error) {
 		res.Timing.QTI.Round(time.Millisecond), res.Timing.Warmup.Round(time.Millisecond),
 		res.Timing.Generate.Round(time.Millisecond))
 
+	// Materialise every generated feature in one executor batch (searches
+	// usually leave these cached, but a cold run pays the cost in parallel).
 	aug := e.eval.P.Train.Clone()
-	for i, gq := range res.Queries {
+	vals, valid, err := e.eval.FeatureBatch(res.QueryList())
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Queries {
 		name := fmt.Sprintf("feataug_%d", i)
-		vals, valid, err := e.eval.Feature(gq.Query)
-		if err != nil {
-			return nil, err
-		}
-		if err := aug.AddColumn(dataframe.NewFloatColumn(name, vals, valid)); err != nil {
+		if err := aug.AddColumn(dataframe.NewFloatColumn(name, vals[i], valid[i])); err != nil {
 			return nil, err
 		}
 		res.FeatureNames = append(res.FeatureNames, name)

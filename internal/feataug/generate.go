@@ -16,6 +16,9 @@ type Engine struct {
 	eval *pipeline.Evaluator
 	cfg  Config
 	rng  *rand.Rand
+	// spaces caches per-attribute value domains and whole template spaces
+	// across the many templates QTI and generation visit.
+	spaces *query.SpaceCache
 	// Funcs is the aggregation function set F used in every template.
 	Funcs []agg.Func
 }
@@ -28,10 +31,11 @@ func NewEngine(eval *pipeline.Evaluator, funcs []agg.Func, cfg Config) *Engine {
 	}
 	cfg = cfg.normalized()
 	return &Engine{
-		eval:  eval,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		Funcs: funcs,
+		eval:   eval,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		spaces: query.NewSpaceCache(eval.P.Relevant, cfg.Space),
+		Funcs:  funcs,
 	}
 }
 
@@ -56,7 +60,7 @@ type GeneratedQuery struct {
 // task unless disabled — and returns up to k distinct queries with the lowest
 // real validation losses.
 func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, error) {
-	space, err := query.BuildSpace(e.eval.P.Relevant, tpl, e.cfg.Space)
+	space, err := e.spaces.Space(tpl)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +114,9 @@ func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, e
 		hpo.Run(warm, e.cfg.WarmupIters, proxyLoss)
 
 		// Evaluate the top-k proxy queries for real and prime the second
-		// round's surrogate with them (Figure 3).
+		// round's surrogate with them (Figure 3). Their features are already
+		// in the evaluator's cache from the proxy evaluations, so only the
+		// model fits remain — sequential for determinism.
 		top := hpo.TopK(warm, e.cfg.WarmupTopK)
 		prime := make([]hpo.Observation, 0, len(top))
 		for _, o := range top {

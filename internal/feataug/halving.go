@@ -15,7 +15,7 @@ import (
 // TPE when real evaluations dominate, at the cost of no sequential
 // modelling; the ablation bench compares the two.
 func (e *Engine) GenerateQueriesHalving(tpl query.Template, k, numConfigs int) ([]GeneratedQuery, error) {
-	space, err := query.BuildSpace(e.eval.P.Relevant, tpl, e.cfg.Space)
+	space, err := e.spaces.Space(tpl)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,25 @@ func (e *Engine) GenerateQueriesHalving(tpl query.Template, k, numConfigs int) (
 		history = append(history, hpo.Observation{X: x, Loss: loss})
 		return loss
 	}
-	if _, err := hpo.SuccessiveHalving(space.Cardinalities(), e.rng, numConfigs, 3, eval); err != nil {
+	// Each rung's surviving configurations are known up front, so their
+	// features are materialised concurrently on the batch executor before
+	// the sequential scoring pass (which then hits the feature cache).
+	evalBatch := func(xs [][]int, fidelity float64) []float64 {
+		prewarm := make([]query.Query, 0, len(xs))
+		for _, x := range xs {
+			if q, err := space.Decode(x); err == nil {
+				prewarm = append(prewarm, q)
+			}
+		}
+		// Best-effort: a failing feature resurfaces as a sentinel loss below.
+		_, _, _ = e.eval.FeatureBatch(prewarm)
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = eval(x, fidelity)
+		}
+		return out
+	}
+	if _, err := hpo.SuccessiveHalvingBatch(space.Cardinalities(), e.rng, numConfigs, 3, evalBatch); err != nil {
 		return nil, err
 	}
 	sort.SliceStable(history, func(a, b int) bool { return history[a].Loss < history[b].Loss })

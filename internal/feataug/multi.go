@@ -71,13 +71,13 @@ func AugmentMulti(base pipeline.Problem, model ml.Kind, cfg Config, inputs []Rel
 		}
 		out.PerTable = append(out.PerTable, res)
 		out.Names = append(out.Names, in.Name)
-		for i, gq := range res.Queries {
+		vals, valid, err := ev.FeatureBatch(res.QueryList())
+		if err != nil {
+			return nil, err
+		}
+		for i := range res.Queries {
 			name := fmt.Sprintf("%s_feataug_%d", in.Name, i)
-			vals, valid, err := ev.Feature(gq.Query)
-			if err != nil {
-				return nil, err
-			}
-			if err := out.Augmented.AddColumn(dataframe.NewFloatColumn(name, vals, valid)); err != nil {
+			if err := out.Augmented.AddColumn(dataframe.NewFloatColumn(name, vals[i], valid[i])); err != nil {
 				return nil, err
 			}
 			out.FeatureNames = append(out.FeatureNames, name)

@@ -150,7 +150,10 @@ func (e *Engine) IdentifyTemplates(attrs []string, n int) ([]TemplateScore, erro
 // objective; without it, on the real model objective.
 func (e *Engine) templateEffectiveness(predAttrs []string) (float64, error) {
 	tpl := e.Template(predAttrs)
-	space, err := query.BuildSpace(e.eval.P.Relevant, tpl, e.cfg.Space)
+	// The shared space cache matters most here: beam search revisits every
+	// attribute in many combinations, and each would otherwise rescan the
+	// relevant table for distinct values / quantile grids.
+	space, err := e.spaces.Space(tpl)
 	if err != nil {
 		return 0, err
 	}

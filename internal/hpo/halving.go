@@ -17,6 +17,22 @@ import (
 // low-cost proxy, the final rung the real model loss — the same cheap-to-
 // expensive laddering as the paper's warm-up, but within one bracket.
 func SuccessiveHalving(cards []int, rng *rand.Rand, n, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
+	return SuccessiveHalvingBatch(cards, rng, n, eta, func(xs [][]int, fidelity float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = eval(x, fidelity)
+		}
+		return out
+	})
+}
+
+// SuccessiveHalvingBatch is SuccessiveHalving with rung-level batch
+// evaluation: evalBatch receives every surviving configuration of one rung at
+// once and returns their losses in order. Callers use the batch boundary to
+// prewarm shared state — e.g. materialise all candidate features on a
+// parallel query executor — before scoring; configurations are drawn and
+// ranked exactly as in SuccessiveHalving, so results are unchanged.
+func SuccessiveHalvingBatch(cards []int, rng *rand.Rand, n, eta int, evalBatch func(xs [][]int, fidelity float64) []float64) (Observation, error) {
 	if n < 1 {
 		return Observation{}, fmt.Errorf("hpo: need at least one configuration")
 	}
@@ -42,8 +58,13 @@ func SuccessiveHalving(cards []int, rng *rand.Rand, n, eta int, eval func(x []in
 	}
 	for r := 0; r < rungs && len(pop) > 0; r++ {
 		fidelity := float64(r+1) / float64(rungs)
+		xs := make([][]int, len(pop))
 		for i := range pop {
-			pop[i].loss = eval(pop[i].x, fidelity)
+			xs[i] = pop[i].x
+		}
+		losses := evalBatch(xs, fidelity)
+		for i := range pop {
+			pop[i].loss = losses[i]
 		}
 		sort.SliceStable(pop, func(a, b int) bool { return pop[a].loss < pop[b].loss })
 		if r < rungs-1 {

@@ -1,0 +1,63 @@
+// Package par provides the one bounded-parallelism scaffold the repo's
+// worker pools share (the experiment harness and the batch query executor),
+// so semantics like first-error collection and panic recovery stay in
+// lockstep across them.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0), ..., fn(n-1) with at most parallel concurrent calls
+// (parallel <= 0 means GOMAXPROCS) and returns the first error by index.
+// A panicking call is converted into an error on both the concurrent and the
+// inline path, so behavior does not depend on batch size or GOMAXPROCS.
+// With parallelism 1 the calls run inline, in order, stopping at the first
+// error.
+func ForEach(parallel, n int, fn func(i int) error) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := call(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = call(i, fn)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// call invokes fn(i), converting a panic into an error.
+func call(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

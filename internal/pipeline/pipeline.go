@@ -97,7 +97,9 @@ func (k ProxyKind) String() string {
 
 // Evaluator evaluates feature sets against a downstream model. It caches
 // query executions and real-model evaluations by query identity, because the
-// search procedures revisit queries.
+// search procedures revisit queries. All query execution runs through one
+// shared batch executor over the relevant table, so group indexes and
+// predicate bitmaps are computed once per problem rather than once per query.
 type Evaluator struct {
 	P         Problem
 	Model     ml.Kind
@@ -110,6 +112,7 @@ type Evaluator struct {
 	// ProxyEvaluations counts proxy computations.
 	ProxyEvaluations int
 
+	exec      *query.Executor
 	featCache map[string]cachedFeature
 	lossCache map[string]float64
 	labels    []int
@@ -129,12 +132,16 @@ func NewEvaluator(p Problem, model ml.Kind, seed int64) (*Evaluator, error) {
 	return &Evaluator{
 		P: p, Model: model, Seed: seed,
 		TrainFrac: 0.6, ValidFrac: 0.2,
+		exec:      query.NewExecutor(p.Relevant),
 		featCache: map[string]cachedFeature{},
 		lossCache: map[string]float64{},
 		labels:    p.Labels(),
 		yfloat:    p.YFloat(),
 	}, nil
 }
+
+// Executor exposes the shared batch executor over the relevant table.
+func (e *Evaluator) Executor() *query.Executor { return e.exec }
 
 // Feature materialises the feature a query produces, aligned with the
 // training table rows (NULL on join miss), caching by the query's SQL text.
@@ -143,13 +150,50 @@ func (e *Evaluator) Feature(q query.Query) ([]float64, []bool, error) {
 	if c, ok := e.featCache[key]; ok {
 		return c.vals, c.valid, nil
 	}
-	aug, err := q.Augment(e.P.Train, e.P.Relevant, "__cand")
+	vals, valid, err := e.exec.AugmentValues(e.P.Train, q)
 	if err != nil {
 		return nil, nil, err
 	}
-	vals, valid := aug.Column("__cand").Floats()
 	e.featCache[key] = cachedFeature{vals: vals, valid: valid}
 	return vals, valid, nil
+}
+
+// FeatureBatch materialises many candidate features at once: queries missing
+// from the cache are deduplicated and executed concurrently on the batch
+// executor's worker pool, then every result is returned in input order. The
+// search procedures use it to pay the per-query execute-and-join cost in
+// parallel wherever a whole slice of candidates is known up front.
+func (e *Evaluator) FeatureBatch(qs []query.Query) ([][]float64, [][]bool, error) {
+	keys := make([]string, len(qs))
+	var missKeys []string
+	var missQs []query.Query
+	seen := map[string]bool{}
+	for i, q := range qs {
+		k := q.SQL("R")
+		keys[i] = k
+		if _, ok := e.featCache[k]; ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		missKeys = append(missKeys, k)
+		missQs = append(missQs, q)
+	}
+	if len(missQs) > 0 {
+		vals, valid, err := e.exec.AugmentValuesBatch(e.P.Train, missQs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range missQs {
+			e.featCache[missKeys[i]] = cachedFeature{vals: vals[i], valid: valid[i]}
+		}
+	}
+	outVals := make([][]float64, len(qs))
+	outValid := make([][]bool, len(qs))
+	for i, k := range keys {
+		c := e.featCache[k]
+		outVals[i], outValid[i] = c.vals, c.valid
+	}
+	return outVals, outValid, nil
 }
 
 // ProxyScore computes the low-cost proxy for one query; higher is better for

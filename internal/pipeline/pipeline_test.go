@@ -91,6 +91,52 @@ func TestFeatureCaching(t *testing.T) {
 	}
 }
 
+func TestFeatureBatchMatchesFeature(t *testing.T) {
+	p := tmallProblem(t)
+	evBatch, err := NewEvaluator(p, ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evSingle, err := NewEvaluator(p, ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []query.Query{
+		{Agg: agg.Count, AggAttr: "price", Keys: p.Keys},
+		{Agg: agg.Avg, AggAttr: "price", Keys: p.Keys,
+			Preds: []query.Predicate{{Attr: "action", Kind: query.PredEq, StrValue: "buy"}}},
+		{Agg: agg.Sum, AggAttr: "price", Keys: p.Keys,
+			Preds: []query.Predicate{{Attr: "timestamp", Kind: query.PredRange, HasLo: true, Lo: 3000, HasHi: true, Hi: 8000}}},
+		// Duplicate of the first query: must come back from the cache.
+		{Agg: agg.Count, AggAttr: "price", Keys: p.Keys},
+	}
+	bv, bok, err := evBatch.FeatureBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bv) != len(qs) || len(bok) != len(qs) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(bv), len(bok), len(qs))
+	}
+	for i, q := range qs {
+		sv, sok, err := evSingle.Feature(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bv[i]) != len(sv) {
+			t.Fatalf("query %d: %d rows vs %d", i, len(bv[i]), len(sv))
+		}
+		for r := range sv {
+			if bok[i][r] != sok[r] || (sok[r] && bv[i][r] != sv[r]) {
+				t.Fatalf("query %d row %d: batch (%v,%v) vs single (%v,%v)",
+					i, r, bv[i][r], bok[i][r], sv[r], sok[r])
+			}
+		}
+	}
+	if &bv[0][0] != &bv[3][0] {
+		t.Fatal("duplicate queries in one batch should share the cached feature")
+	}
+}
+
 func TestProxyScores(t *testing.T) {
 	ev, err := NewEvaluator(tmallProblem(t), ml.KindLR, 1)
 	if err != nil {

@@ -121,6 +121,132 @@ func TestDifferentialExecutor(t *testing.T) {
 	}
 }
 
+// sameTable requires two result tables to be row-for-row identical: same
+// columns in order, same rows in order, same values and null flags.
+func sameTable(t *testing.T, label string, got, want *dataframe.Table) {
+	t.Helper()
+	gn, wn := got.ColumnNames(), want.ColumnNames()
+	if len(gn) != len(wn) {
+		t.Fatalf("%s: %d columns vs %d", label, len(gn), len(wn))
+	}
+	for i := range gn {
+		if gn[i] != wn[i] {
+			t.Fatalf("%s: column %d = %q, want %q", label, i, gn[i], wn[i])
+		}
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("%s: %d rows vs %d", label, got.NumRows(), want.NumRows())
+	}
+	for _, name := range wn {
+		gc, wc := got.Column(name), want.Column(name)
+		for row := 0; row < want.NumRows(); row++ {
+			if gc.IsNull(row) != wc.IsNull(row) {
+				t.Fatalf("%s: %s[%d] null %v, want %v", label, name, row, gc.IsNull(row), wc.IsNull(row))
+			}
+			if gc.IsNull(row) {
+				continue
+			}
+			if gv, wv := gc.Value(row), wc.Value(row); gv != wv {
+				t.Fatalf("%s: %s[%d] = %v, want %v", label, name, row, gv, wv)
+			}
+		}
+	}
+}
+
+// TestDifferentialBatchExecutor runs batches of random queries — spanning all
+// 15 aggregation functions, every predicate kind and random key subsets, over
+// several random tables — through Executor.ExecuteBatch and requires each
+// result to be row-for-row identical to the per-query Query.Execute path.
+func TestDifferentialBatchExecutor(t *testing.T) {
+	tpl := Template{
+		Funcs:     agg.All(),
+		AggAttrs:  []string{"x", "cat", "ts"},
+		PredAttrs: []string{"cat", "flag", "x", "ts"},
+		Keys:      []string{"k1", "k2"},
+	}
+	for _, seed := range []int64{3, 41, 88} {
+		r := largeRandomTable(400, seed)
+		s, err := BuildSpace(r, tpl, SpaceOptions{NumGridPoints: 5, MaxCategories: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		qs := make([]Query, 120)
+		for i := range qs {
+			q, err := s.Decode(s.RandomVector(rng.Intn))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs[i] = q
+		}
+		ex := NewExecutor(r)
+		batch, err := ex.ExecuteBatch(qs, "feature")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			want, err := q.Execute(r, "feature")
+			if err != nil {
+				t.Fatalf("%s: %v", q.SQL("r"), err)
+			}
+			sameTable(t, q.SQL("r"), batch[i], want)
+		}
+		// The caches must be idempotent: a second batch over the same pool
+		// (now fully warm) returns identical results.
+		again, err := ex.ExecuteBatch(qs, "feature")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			sameTable(t, "warm "+q.SQL("r"), again[i], batch[i])
+		}
+	}
+}
+
+// TestExecutorAugmentMatchesQueryAugment checks the join side: joining a
+// batch-executed feature onto a training table equals Query.Augment.
+func TestExecutorAugmentMatchesQueryAugment(t *testing.T) {
+	r := largeRandomTable(300, 5)
+	// A training table keyed like the relevant table.
+	var k1 []int64
+	var k2 []string
+	for i := int64(0); i < 25; i++ {
+		k1 = append(k1, i)
+		k2 = append(k2, []string{"a", "b", "c"}[i%3])
+	}
+	d := dataframe.MustNewTable(
+		dataframe.NewIntColumn("k1", k1, nil),
+		dataframe.NewStringColumn("k2", k2, nil),
+	)
+	tpl := Template{
+		Funcs:     agg.All(),
+		AggAttrs:  []string{"x", "cat"},
+		PredAttrs: []string{"cat", "x"},
+		Keys:      []string{"k1", "k2"},
+	}
+	s, err := BuildSpace(r, tpl, SpaceOptions{NumGridPoints: 4, MaxCategories: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	ex := NewExecutor(r)
+	for trial := 0; trial < 50; trial++ {
+		q, err := s.Decode(s.RandomVector(rng.Intn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ex.Augment(d, q, "f")
+		if err != nil {
+			t.Fatalf("%s: %v", q.SQL("r"), err)
+		}
+		want, err := q.Augment(d, r, "f")
+		if err != nil {
+			t.Fatalf("%s: %v", q.SQL("r"), err)
+		}
+		sameTable(t, q.SQL("r"), got, want)
+	}
+}
+
 // largeRandomTable builds a mixed-type table with nulls for differential
 // testing.
 func largeRandomTable(n int, seed int64) *dataframe.Table {

@@ -37,24 +37,64 @@ func (q Query) SQL(relName string) string {
 }
 
 // Name returns a short deterministic identifier for the feature the query
-// produces, safe to use as a column name.
+// produces, safe to use as a column name. Every predicate contributes its
+// operator (eq/ge/le/between) alongside the sanitised operand, so queries
+// that differ only in comparison direction — e.g. x >= 5 versus x <= 5 —
+// never collide.
 func (q Query) Name() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s_%s", strings.ToLower(q.Agg.String()), q.AggAttr)
 	for _, p := range q.Preds {
 		sb.WriteByte('_')
-		sb.WriteString(sanitize(p.String()))
+		sb.WriteString(p.nameToken())
 	}
 	return sb.String()
 }
 
+// nameToken renders the predicate as attr_op_value with every component
+// sanitised, the column-name-safe counterpart of String. String operands are
+// prefixed 's' and boolean operands 'b', so an empty-string category can
+// never collide with a boolean (or a literal "false") on the same attribute.
+func (p Predicate) nameToken() string {
+	attr := sanitize(p.Attr)
+	switch p.Kind {
+	case PredEq:
+		if p.StrValue != "" {
+			return attr + "_eq_s" + sanitize(p.StrValue)
+		}
+		if p.BoolValue {
+			return attr + "_eq_btrue"
+		}
+		// Both a bool-false operand and an empty-string category land here;
+		// the two cannot coexist on one attribute (a column has one kind).
+		return attr + "_eq_bfalse"
+	case PredRange:
+		switch {
+		case p.HasLo && p.HasHi:
+			return attr + "_between_" + sanitize(fmtBound(p.Lo)) + "_" + sanitize(fmtBound(p.Hi))
+		case p.HasLo:
+			return attr + "_ge_" + sanitize(fmtBound(p.Lo))
+		case p.HasHi:
+			return attr + "_le_" + sanitize(fmtBound(p.Hi))
+		}
+	}
+	return attr
+}
+
+// sanitize keeps alphanumerics, maps separators to underscores, and encodes
+// a numeric sign as 'n' and a decimal point as 'p', so that e.g. -5, 5 and
+// 1.5 / 15 all stay distinct ('_' is reserved for the component separator).
 func sanitize(s string) string {
 	var sb strings.Builder
 	for _, r := range s {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
 			sb.WriteRune(r)
-		case r == ' ', r == '=', r == '.':
+		case r == '-':
+			sb.WriteByte('n')
+		case r == '.':
+			sb.WriteByte('p')
+		case r == ' ', r == '=':
 			sb.WriteByte('_')
 		}
 	}

@@ -1,0 +1,541 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/dataframe"
+	"repro/internal/par"
+)
+
+// Executor evaluates queries against one relevant table with two caches that
+// exploit how the TPE / successive-halving searches revisit the same pool:
+//
+//   - a dataframe.GroupIndex per key-set, so queries sharing GROUP BY keys
+//     (all queries of a template pool do, up to the key-subset dimension)
+//     never regroup the table through string row-keys again;
+//   - a row bitmap per predicate, keyed on the predicate's canonical
+//     encoding. Predicates are drawn from the Space's small discrete pools
+//     and are heavily reused across queries, so a query's WHERE mask is the
+//     word-wise intersection of cached bitmaps instead of a full-table
+//     re-evaluation.
+//
+// All methods are safe for concurrent use; ExecuteBatch evaluates a slice of
+// candidate queries on a bounded worker pool.
+type Executor struct {
+	r *dataframe.Table
+	// Parallelism bounds ExecuteBatch's worker pool; 0 means GOMAXPROCS.
+	Parallelism int
+
+	mu     sync.Mutex
+	groups map[string]*groupEntry
+	masks  map[string]*maskEntry
+	joins  map[joinKey]*joinEntry
+}
+
+type groupEntry struct {
+	once sync.Once
+	idx  *dataframe.GroupIndex
+	err  error
+}
+
+type maskEntry struct {
+	once sync.Once
+	bits []uint64 // 1 bit per row, LSB-first within each word
+	err  error
+}
+
+// NewExecutor builds an executor over one relevant table. The table must not
+// be mutated while the executor is in use (caches index into its rows).
+func NewExecutor(r *dataframe.Table) *Executor {
+	return &Executor{
+		r:      r,
+		groups: map[string]*groupEntry{},
+		masks:  map[string]*maskEntry{},
+	}
+}
+
+// Table returns the relevant table the executor is bound to.
+func (e *Executor) Table() *dataframe.Table { return e.r }
+
+// groupIndex returns the cached GroupIndex for a key-set, building it on
+// first use. Key order matters (it fixes the output column order), so the
+// cache key preserves it.
+func (e *Executor) groupIndex(keys []string) (*dataframe.GroupIndex, error) {
+	k := strings.Join(keys, "\x1f")
+	e.mu.Lock()
+	ent, ok := e.groups[k]
+	if !ok {
+		ent = &groupEntry{}
+		e.groups[k] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.idx, ent.err = e.r.BuildGroupIndex(keys...)
+	})
+	return ent.idx, ent.err
+}
+
+// predCacheKey is a canonical encoding of one predicate: attribute, operator
+// and operand(s). Cheaper than Predicate.String (no fmt machinery) — it runs
+// once per predicate per query on the hot path.
+func predCacheKey(p Predicate) string {
+	b := make([]byte, 0, len(p.Attr)+24)
+	b = append(b, p.Attr...)
+	switch p.Kind {
+	case PredEq:
+		// Both operand fields go into the key; the column's kind decides
+		// which one Eval reads, so at worst two spellings of the same
+		// predicate cache separate (identical) bitmaps.
+		b = append(b, "=s"...)
+		b = append(b, p.StrValue...)
+		if p.BoolValue {
+			b = append(b, "|b1"...)
+		} else {
+			b = append(b, "|b0"...)
+		}
+	case PredRange:
+		if p.HasLo {
+			b = append(b, '>')
+			b = strconv.AppendFloat(b, p.Lo, 'g', -1, 64)
+		}
+		if p.HasHi {
+			b = append(b, '<')
+			b = strconv.AppendFloat(b, p.Hi, 'g', -1, 64)
+		}
+	}
+	return string(b)
+}
+
+// predMask returns the cached full-table row bitmap of one predicate,
+// evaluating it on first use.
+func (e *Executor) predMask(p Predicate) ([]uint64, error) {
+	k := predCacheKey(p)
+	e.mu.Lock()
+	ent, ok := e.masks[k]
+	if !ok {
+		ent = &maskEntry{}
+		e.masks[k] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		mask := make([]bool, e.r.NumRows())
+		for i := range mask {
+			mask[i] = true
+		}
+		if err := p.Eval(e.r, mask); err != nil {
+			ent.err = err
+			return
+		}
+		bm := make([]uint64, (len(mask)+63)/64)
+		for i, m := range mask {
+			if m {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		ent.bits = bm
+	})
+	return ent.bits, ent.err
+}
+
+// whereMask builds a query's WHERE mask as the word-wise intersection of
+// cached per-predicate bitmaps; nil means "all rows" (predicate-free query).
+// Two-sided ranges are decomposed into their one-sided halves before the
+// cache lookup: a pool discretised over g grid points yields ~g² distinct
+// (lo, hi) pairs per attribute but only ~2g one-sided bounds, so the cache
+// converges after a handful of misses instead of one per bound pair. The
+// intersection is exact — a NULL row fails both halves, matching SQL
+// three-valued logic just like the combined predicate.
+func (e *Executor) whereMask(preds []Predicate) ([]uint64, error) {
+	var mask []uint64
+	and := func(p Predicate) error {
+		pm, err := e.predMask(p)
+		if err != nil {
+			return err
+		}
+		if mask == nil {
+			mask = make([]uint64, len(pm))
+			copy(mask, pm)
+			return nil
+		}
+		for i := range mask {
+			mask[i] &= pm[i]
+		}
+		return nil
+	}
+	for _, p := range preds {
+		if p.Kind == PredRange && p.HasLo && p.HasHi {
+			lo := Predicate{Attr: p.Attr, Kind: PredRange, HasLo: true, Lo: p.Lo}
+			hi := Predicate{Attr: p.Attr, Kind: PredRange, HasHi: true, Hi: p.Hi}
+			if err := and(lo); err != nil {
+				return nil, err
+			}
+			if err := and(hi); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := and(p); err != nil {
+			return nil, err
+		}
+	}
+	return mask, nil
+}
+
+// matchedRows materialises the row indices a bitmap selects, in ascending
+// order.
+func matchedRows(mask []uint64) []int {
+	cnt := 0
+	for _, w := range mask {
+		cnt += bits.OnesCount64(w)
+	}
+	rows := make([]int, 0, cnt)
+	for wi, w := range mask {
+		base := wi << 6
+		for w != 0 {
+			rows = append(rows, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return rows
+}
+
+// execResult is the group-level outcome of one query: the representative
+// source row, aggregate value and validity per non-empty group, in first-seen
+// order over the matching rows, plus the group index the query ran under.
+type execResult struct {
+	gi    *dataframe.GroupIndex
+	repr  []int
+	vals  []float64
+	valid []bool
+}
+
+// Execute evaluates one query against the executor's table, producing the
+// same result table as Query.Execute — one row per non-empty group, in
+// first-seen order over the matching rows — but through the shared caches.
+func (e *Executor) Execute(q Query, featureName string) (*dataframe.Table, error) {
+	er, err := e.executeCore(q)
+	if err != nil {
+		return nil, err
+	}
+	out := dataframe.MustNewTable()
+	for _, kc := range er.gi.KeyColumns() {
+		if err := out.AddColumn(kc.Take(er.repr)); err != nil {
+			return nil, err
+		}
+	}
+	if featureName == "" {
+		featureName = "feature"
+	}
+	if err := out.AddColumn(dataframe.NewFloatColumn(featureName, er.vals, er.valid)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// executeCore runs the masked, index-backed aggregation shared by Execute
+// (which materialises a result table) and Augment (which maps the group
+// values straight onto the training rows).
+func (e *Executor) executeCore(q Query) (execResult, error) {
+	if len(q.Keys) == 0 {
+		return execResult{}, fmt.Errorf("query: execute with no group-by keys")
+	}
+	aggCol := e.r.Column(q.AggAttr)
+	if aggCol == nil {
+		return execResult{}, fmt.Errorf("query: no aggregation column %q", q.AggAttr)
+	}
+	gi, err := e.groupIndex(q.Keys)
+	if err != nil {
+		return execResult{}, err
+	}
+	mask, err := e.whereMask(q.Preds)
+	if err != nil {
+		return execResult{}, err
+	}
+	// eachMatch visits the matching rows in ascending order. A nil mask
+	// (predicate-free query) walks the row range directly rather than
+	// materialising an n-element identity slice per query.
+	var rows []int
+	if mask != nil {
+		rows = matchedRows(mask)
+	}
+	eachMatch := func(visit func(row int)) {
+		if mask == nil {
+			for i, n := 0, e.r.NumRows(); i < n; i++ {
+				visit(i)
+			}
+			return
+		}
+		for _, i := range rows {
+			visit(i)
+		}
+	}
+
+	// Pass 1: discover the non-empty groups in first-seen order over the
+	// matching rows (matching Query.Execute's output order), counting total
+	// and non-null rows per group.
+	useString := aggCol.Kind() == dataframe.KindString
+	allNull := useString && !q.Agg.SupportsStrings()
+	local := make([]int, gi.NumGroups()) // gid -> local index + 1; 0 = unseen
+	var (
+		repr   []int // local -> representative row (first matching)
+		counts []int // local -> total matching rows
+		nvalid []int // local -> matching rows with non-null agg value
+	)
+	eachMatch(func(i int) {
+		gid := gi.GroupOf(i)
+		li := local[gid]
+		if li == 0 {
+			repr = append(repr, i)
+			counts = append(counts, 0)
+			nvalid = append(nvalid, 0)
+			li = len(repr)
+			local[gid] = li
+		}
+		li--
+		counts[li]++
+		if !allNull && !aggCol.IsNull(i) {
+			nvalid[li]++
+		}
+	})
+	ngroups := len(repr)
+
+	vals := make([]float64, ngroups)
+	valid := make([]bool, ngroups)
+	if !allNull && ngroups > 0 {
+		// Pass 2: fill one flat value buffer partitioned by group via offset
+		// prefix sums, then apply the aggregate per group. Values land in row
+		// order within each group, exactly as Query.Execute collects them.
+		offs := make([]int, ngroups+1)
+		for li, nv := range nvalid {
+			offs[li+1] = offs[li] + nv
+		}
+		var fbuf []float64
+		var sbuf []string
+		if useString {
+			sbuf = make([]string, offs[ngroups])
+		} else {
+			fbuf = make([]float64, offs[ngroups])
+		}
+		fill := make([]int, ngroups)
+		copy(fill, offs[:ngroups])
+		eachMatch(func(i int) {
+			if aggCol.IsNull(i) {
+				return
+			}
+			li := local[gi.GroupOf(i)] - 1
+			if useString {
+				sbuf[fill[li]] = aggCol.Str(i)
+			} else {
+				v, ok := aggCol.AsFloat(i)
+				if !ok {
+					return
+				}
+				fbuf[fill[li]] = v
+			}
+			fill[li]++
+		})
+		for li := 0; li < ngroups; li++ {
+			if useString {
+				vals[li], valid[li] = q.Agg.StringApply(sbuf[offs[li]:fill[li]], counts[li])
+			} else {
+				vals[li], valid[li] = q.Agg.Apply(fbuf[offs[li]:fill[li]], counts[li])
+			}
+		}
+	}
+
+	return execResult{gi: gi, repr: repr, vals: vals, valid: valid}, nil
+}
+
+// joinEntry caches the training-table side of Augment's join for one
+// (training table, key-set) pair: the train-side group index plus the
+// mapping from relevant-table group ids to train-side group ids. With it,
+// joining a query's feature onto the training table is pure integer
+// indexing — the per-query string re-hash of the whole training table that
+// LeftJoin would do is paid once per key-set instead.
+type joinEntry struct {
+	once sync.Once
+	idx  *dataframe.GroupIndex // over d's key columns
+	rToD []int                 // relevant gid -> train gid, -1 = no match
+	err  error
+}
+
+type joinKey struct {
+	d    *dataframe.Table
+	keys string
+}
+
+func (e *Executor) joinIndex(d *dataframe.Table, keys []string) (*joinEntry, error) {
+	k := joinKey{d: d, keys: strings.Join(keys, "\x1f")}
+	e.mu.Lock()
+	if e.joins == nil {
+		e.joins = map[joinKey]*joinEntry{}
+	}
+	ent, ok := e.joins[k]
+	if !ok {
+		ent = &joinEntry{}
+		e.joins[k] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.idx, ent.err = d.BuildGroupIndex(keys...)
+		if ent.err != nil {
+			return
+		}
+		rIdx, err := e.groupIndex(keys)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		lookup := make(map[string]int, ent.idx.NumGroups())
+		for dg := 0; dg < ent.idx.NumGroups(); dg++ {
+			lookup[ent.idx.Key(dg)] = dg
+		}
+		ent.rToD = make([]int, rIdx.NumGroups())
+		for rg := 0; rg < rIdx.NumGroups(); rg++ {
+			if dg, ok := lookup[rIdx.Key(rg)]; ok {
+				ent.rToD[rg] = dg
+			} else {
+				ent.rToD[rg] = -1
+			}
+		}
+	})
+	return ent, ent.err
+}
+
+// AugmentValues evaluates the query and returns its feature aligned with
+// d's rows (NULL on join miss, vals zeroed at NULL positions — the same
+// convention Column.Floats yields), without materialising the joined table.
+// This is the search loop's hot path: evaluators want the raw slices, not a
+// Table.
+func (e *Executor) AugmentValues(d *dataframe.Table, q Query) ([]float64, []bool, error) {
+	for _, k := range q.Keys {
+		if !d.HasColumn(k) {
+			return nil, nil, fmt.Errorf("query: training table has no join key %q", k)
+		}
+	}
+	er, err := e.executeCore(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	jn, err := e.joinIndex(d, q.Keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Scatter the group values onto d's rows: result group -> train group
+	// (via the cached mapping), then train group -> row values.
+	dgToLocal := make([]int, jn.idx.NumGroups()) // train gid -> local index + 1
+	for li, r := range er.repr {
+		if dg := jn.rToD[er.gi.GroupOf(r)]; dg >= 0 {
+			dgToLocal[dg] = li + 1
+		}
+	}
+	n := d.NumRows()
+	vals := make([]float64, n)
+	valid := make([]bool, n)
+	for row := 0; row < n; row++ {
+		if li := dgToLocal[jn.idx.GroupOf(row)]; li > 0 {
+			v := er.vals[li-1]
+			// NaN aggregates are NULL, matching NewFloatColumn + Floats.
+			if er.valid[li-1] && !math.IsNaN(v) {
+				vals[row], valid[row] = v, true
+			}
+		}
+	}
+	return vals, valid, nil
+}
+
+// Augment executes the query through the caches and left-joins the feature
+// onto the training table d, mirroring Query.Augment: every d row appears
+// exactly once, NULL on join miss, and the feature column is renamed with a
+// "_r" suffix if d already has a column of that name (LeftJoin's rule).
+func (e *Executor) Augment(d *dataframe.Table, q Query, featureName string) (*dataframe.Table, error) {
+	vals, valid, err := e.AugmentValues(d, q)
+	if err != nil {
+		return nil, err
+	}
+	if featureName == "" {
+		featureName = "feature"
+	}
+	if d.HasColumn(featureName) {
+		featureName += "_r"
+	}
+	out := dataframe.MustNewTable()
+	for _, c := range d.Columns() {
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.AddColumn(dataframe.NewFloatColumn(featureName, vals, valid)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecuteBatch evaluates a slice of candidate queries concurrently on a
+// worker pool bounded by Parallelism (default GOMAXPROCS), preserving result
+// order. The first error aborts the batch. Queries in a batch share the
+// group-index and predicate-bitmap caches, so a pool of similar queries — the
+// shape every search procedure produces — pays the grouping and predicate
+// costs once instead of once per query.
+func (e *Executor) ExecuteBatch(qs []Query, featureName string) ([]*dataframe.Table, error) {
+	results := make([]*dataframe.Table, len(qs))
+	err := e.runBatch(len(qs), func(i int) error {
+		res, err := e.Execute(qs[i], featureName)
+		if err != nil {
+			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AugmentBatch is ExecuteBatch followed by the left-join onto d, one result
+// table per query.
+func (e *Executor) AugmentBatch(d *dataframe.Table, qs []Query, featureName string) ([]*dataframe.Table, error) {
+	results := make([]*dataframe.Table, len(qs))
+	err := e.runBatch(len(qs), func(i int) error {
+		res, err := e.Augment(d, qs[i], featureName)
+		if err != nil {
+			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AugmentValuesBatch is AugmentValues over a slice of queries on the worker
+// pool: per-query feature slices aligned with d's rows, in input order.
+func (e *Executor) AugmentValuesBatch(d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
+	vals := make([][]float64, len(qs))
+	valid := make([][]bool, len(qs))
+	err := e.runBatch(len(qs), func(i int) error {
+		v, ok, err := e.AugmentValues(d, qs[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
+		}
+		vals[i], valid[i] = v, ok
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, valid, nil
+}
+
+// runBatch runs fn(0..n-1) on the executor's worker pool.
+func (e *Executor) runBatch(n int, fn func(i int) error) error {
+	return par.ForEach(e.Parallelism, n, fn)
+}

@@ -464,6 +464,55 @@ func TestQuerySQLAndName(t *testing.T) {
 	}
 }
 
+// Regression: predicates differing only in operator or sign must yield
+// distinct feature names. The old sanitiser dropped '<', '>' and '-', so
+// "x >= 5", "x <= 5" and "x = -5"-style predicates collided.
+func TestQueryNameEncodesOperators(t *testing.T) {
+	base := Query{Agg: agg.Sum, AggAttr: "pprice", Keys: []string{"cname"}}
+	variants := []Predicate{
+		{Attr: "x", Kind: PredRange, HasLo: true, Lo: 5},
+		{Attr: "x", Kind: PredRange, HasHi: true, Hi: 5},
+		{Attr: "x", Kind: PredRange, HasLo: true, Lo: 5, HasHi: true, Hi: 5},
+		{Attr: "x", Kind: PredRange, HasLo: true, Lo: -5},
+		{Attr: "x", Kind: PredRange, HasHi: true, Hi: -5},
+		{Attr: "x", Kind: PredEq, StrValue: "5"},
+		// Decimal points must not merge with the component separator:
+		// BETWEEN 1.5 AND 2 vs BETWEEN 1 AND 5.2 collided before.
+		{Attr: "x", Kind: PredRange, HasLo: true, Lo: 1.5, HasHi: true, Hi: 2},
+		{Attr: "x", Kind: PredRange, HasLo: true, Lo: 1, HasHi: true, Hi: 5.2},
+		// An empty-string category must not collide with literal "false".
+		{Attr: "x", Kind: PredEq, StrValue: ""},
+		{Attr: "x", Kind: PredEq, StrValue: "false"},
+	}
+	seen := map[string]string{}
+	for _, p := range variants {
+		q := base
+		q.Preds = []Predicate{p}
+		name := q.Name()
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("name collision %q between %s and %s", name, prev, p.String())
+		}
+		seen[name] = p.String()
+		if strings.ContainsAny(name, " \"=<>-.") {
+			t.Errorf("Name not sanitised: %q", name)
+		}
+	}
+	for name, pred := range map[string]Predicate{
+		"sum_pprice_x_ge_5":        {Attr: "x", Kind: PredRange, HasLo: true, Lo: 5},
+		"sum_pprice_x_le_5":        {Attr: "x", Kind: PredRange, HasHi: true, Hi: 5},
+		"sum_pprice_x_between_5_5": {Attr: "x", Kind: PredRange, HasLo: true, Lo: 5, HasHi: true, Hi: 5},
+		"sum_pprice_x_ge_n5":       {Attr: "x", Kind: PredRange, HasLo: true, Lo: -5},
+		"sum_pprice_x_eq_s5":       {Attr: "x", Kind: PredEq, StrValue: "5"},
+		"sum_pprice_flag_eq_btrue": {Attr: "flag", Kind: PredEq, BoolValue: true},
+	} {
+		q := base
+		q.Preds = []Predicate{pred}
+		if got := q.Name(); got != name {
+			t.Errorf("Name(%s) = %q, want %q", pred.String(), got, name)
+		}
+	}
+}
+
 // Property: for any random vector, decoding yields a query that executes
 // without error and produces at most as many groups as distinct keys.
 func TestPropertyDecodeExecuteTotal(t *testing.T) {

@@ -74,44 +74,80 @@ type Space struct {
 // get lower- and upper-bound dimensions over a quantile grid, each with a
 // None option), and one binary dimension per foreign-key attribute.
 func BuildSpace(r *dataframe.Table, t Template, opts SpaceOptions) (*Space, error) {
+	opts = opts.normalized()
+	return assembleSpace(r, t, func(attr string) (predDim, error) {
+		return buildPredDim(r, attr, opts)
+	})
+}
+
+// assembleSpace lays out a template's dimensions, taking the per-attribute
+// value domains from dim — the one space constructor shared by BuildSpace
+// (fresh domains) and SpaceCache (cached domains), so the vector layout can
+// never diverge between the two.
+func assembleSpace(r *dataframe.Table, t Template, dim func(attr string) (predDim, error)) (*Space, error) {
 	if err := t.Validate(r); err != nil {
 		return nil, err
 	}
-	opts = opts.normalized()
 	s := &Space{Template: t, aggDim: 0, attrDim: 1, predBase: 2}
 	s.Dims = append(s.Dims,
 		Dim{Name: "agg", Card: len(t.Funcs)},
 		Dim{Name: "agg_attr", Card: len(t.AggAttrs)},
 	)
 	for _, attr := range t.PredAttrs {
-		col := r.Column(attr)
-		pd := predDim{attr: attr}
-		switch {
-		case col.Kind() == dataframe.KindString:
-			pd.isCat = true
-			pd.catDomain = col.DistinctStrings(opts.MaxCategories)
-			s.Dims = append(s.Dims, Dim{Name: "eq:" + attr, Card: len(pd.catDomain) + 1})
-		case col.Kind() == dataframe.KindBool:
-			pd.isCat = true
-			pd.boolDomain = true
-			s.Dims = append(s.Dims, Dim{Name: "eq:" + attr, Card: 3}) // false, true, None
-		case col.Kind().IsNumeric():
-			pd.isNum = true
-			pd.grid = quantileGrid(col, opts.NumGridPoints)
-			s.Dims = append(s.Dims,
-				Dim{Name: "lo:" + attr, Card: len(pd.grid) + 1},
-				Dim{Name: "hi:" + attr, Card: len(pd.grid) + 1},
-			)
-		default:
-			return nil, fmt.Errorf("query: unsupported predicate column kind %s for %q", col.Kind(), attr)
+		pd, err := dim(attr)
+		if err != nil {
+			return nil, err
 		}
-		s.preds = append(s.preds, pd)
+		s.appendPredDim(pd)
 	}
+	s.finish(t.Keys)
+	return s, nil
+}
+
+// buildPredDim derives the value domain of one predicate attribute — the
+// per-attribute work of BuildSpace (distinct-value scan or quantile grid),
+// shared with SpaceCache so it is computed once per (table, attribute).
+func buildPredDim(r *dataframe.Table, attr string, opts SpaceOptions) (predDim, error) {
+	col := r.Column(attr)
+	pd := predDim{attr: attr}
+	switch {
+	case col.Kind() == dataframe.KindString:
+		pd.isCat = true
+		pd.catDomain = col.DistinctStrings(opts.MaxCategories)
+	case col.Kind() == dataframe.KindBool:
+		pd.isCat = true
+		pd.boolDomain = true
+	case col.Kind().IsNumeric():
+		pd.isNum = true
+		pd.grid = quantileGrid(col, opts.NumGridPoints)
+	default:
+		return predDim{}, fmt.Errorf("query: unsupported predicate column kind %s for %q", col.Kind(), attr)
+	}
+	return pd, nil
+}
+
+// appendPredDim registers one predicate attribute's dimensions on the space.
+func (s *Space) appendPredDim(pd predDim) {
+	switch {
+	case pd.isCat && pd.boolDomain:
+		s.Dims = append(s.Dims, Dim{Name: "eq:" + pd.attr, Card: 3}) // false, true, None
+	case pd.isCat:
+		s.Dims = append(s.Dims, Dim{Name: "eq:" + pd.attr, Card: len(pd.catDomain) + 1})
+	default:
+		s.Dims = append(s.Dims,
+			Dim{Name: "lo:" + pd.attr, Card: len(pd.grid) + 1},
+			Dim{Name: "hi:" + pd.attr, Card: len(pd.grid) + 1},
+		)
+	}
+	s.preds = append(s.preds, pd)
+}
+
+// finish appends the foreign-key dimensions, completing the space layout.
+func (s *Space) finish(keys []string) {
 	s.keyBase = len(s.Dims)
-	for _, k := range t.Keys {
+	for _, k := range keys {
 		s.Dims = append(s.Dims, Dim{Name: "key:" + k, Card: 2})
 	}
-	return s, nil
 }
 
 // quantileGrid returns up to n distinct empirical quantiles of a numeric
