@@ -7,6 +7,7 @@ package repro
 // execution, group-by, TPE suggestion).
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func BenchmarkAblationGamma(b *testing.B) {
 			cfg.TPE = hpo.TPEOptions{Gamma: gamma}
 			cfg.DisableQTI = true
 			engine := feataug.NewEngine(ev, agg.Basic(), cfg)
-			res, err := engine.Run()
+			res, err := engine.Run(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -76,7 +77,7 @@ func BenchmarkAblationBeamWidth(b *testing.B) {
 			cfg := benchEngineConfig()
 			cfg.BeamWidth = beam
 			engine := feataug.NewEngine(ev, agg.Basic(), cfg)
-			if _, err := engine.Run(); err != nil {
+			if _, err := engine.Run(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}

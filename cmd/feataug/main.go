@@ -7,33 +7,52 @@
 //	feataug -exp all -out report.txt
 //	feataug -exp fig7 -models LR,XGB
 //	feataug -exp table3 -paper          # paper-scale budgets (slow)
+//
+// The fit/transform mode runs the search once, persists the learned
+// FeaturePlan as JSON, and re-applies it to fresh batches without repeating
+// the search:
+//
+//	feataug -fit tmall -rows 400 -seed 1 -plan-out plan.json
+//	feataug -plan-in plan.json -transform tmall -rows 400 -seed 2 -out batch.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
+	repro "repro"
 	"repro/internal/agg"
+	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/feataug"
 	"repro/internal/ml"
 	"repro/internal/results"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Interrupt cancels a running search between evaluations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "feataug:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("feataug", flag.ContinueOnError)
 	var (
 		exp       = fs.String("exp", "table3", "experiment: table1|table2|table3|table6|table7|table8|fig5|fig6|fig7|fig8|fig9|all")
+		fit       = fs.String("fit", "", "fit mode: dataset name to learn a FeaturePlan from (requires -plan-out)")
+		planOut   = fs.String("plan-out", "", "fit mode: write the learned FeaturePlan JSON to this file")
+		planIn    = fs.String("plan-in", "", "transform mode: load a FeaturePlan JSON from this file")
+		transform = fs.String("transform", "", "transform mode: dataset name to apply the loaded plan to")
 		rows      = fs.Int("rows", 400, "training rows per generated dataset")
 		logs      = fs.Int("logs", 8, "mean relevant rows per training key")
 		reps      = fs.Int("reps", 1, "repetitions to average (paper: 5)")
@@ -62,6 +81,31 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	if *fit != "" || *planIn != "" {
+		fo := fitOpts{
+			rows: *rows, logs: *logs, seed: *seed, allFuncs: *allFuncs, models: *models,
+			warmup: *warmup, gen: *gen, templates: *templates, queries: *queries,
+			paper: *paper,
+		}
+		switch {
+		case *fit != "" && *planIn != "":
+			return fmt.Errorf("-fit and -plan-in are mutually exclusive")
+		case *fit != "":
+			if *transform != "" {
+				return fmt.Errorf("-fit and -transform are mutually exclusive (transform with -plan-in)")
+			}
+			if *planOut == "" {
+				return fmt.Errorf("-fit requires -plan-out")
+			}
+			return runFit(ctx, *fit, *planOut, fo, out)
+		default:
+			if *transform == "" {
+				return fmt.Errorf("-plan-in requires -transform")
+			}
+			return runTransform(ctx, *planIn, *transform, fo, out, stderr)
+		}
 	}
 
 	cfg := experiments.Config{
@@ -197,4 +241,117 @@ func parseModels(s string) ([]ml.Kind, error) {
 		}
 	}
 	return out, nil
+}
+
+// fitOpts carries the flag subset the fit/transform modes use.
+type fitOpts struct {
+	rows      int
+	logs      int
+	seed      int64
+	allFuncs  bool
+	models    string
+	warmup    int
+	gen       int
+	templates int
+	queries   int
+	paper     bool
+}
+
+// dataset regenerates a built-in dataset with the mode's scale flags.
+func (fo fitOpts) dataset(name string) (*datagen.Dataset, error) {
+	gen, err := datagen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return gen(datagen.Options{TrainRows: fo.rows, LogsPerKey: fo.logs, Seed: fo.seed}), nil
+}
+
+// runFit learns a FeaturePlan on one dataset and writes it as JSON.
+func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out io.Writer) error {
+	d, err := fo.dataset(dataset)
+	if err != nil {
+		return err
+	}
+	model := ml.KindXGB
+	if fo.models != "" {
+		kinds, err := parseModels(fo.models)
+		if err != nil {
+			return err
+		}
+		if len(kinds) != 1 {
+			return fmt.Errorf("-fit takes exactly one model, got %q (a plan is fitted against one downstream model)", fo.models)
+		}
+		model = kinds[0]
+	}
+	cfg := feataug.Config{
+		Seed:        fo.seed,
+		WarmupIters: fo.warmup, GenIters: fo.gen,
+		NumTemplates: fo.templates, QueriesPerTemplate: fo.queries,
+	}
+	allFuncs := fo.allFuncs
+	if fo.paper {
+		cfg.WarmupIters, cfg.WarmupTopK, cfg.GenIters = 200, 50, 40
+		cfg.NumTemplates, cfg.QueriesPerTemplate, cfg.MaxDepth = 8, 5, 4
+		// Paper-scale runs search the full 15-function set, matching the
+		// experiment mode's -paper behaviour.
+		allFuncs = true
+	}
+	opts := []feataug.Option{
+		feataug.WithConfig(cfg),
+		feataug.WithModel(model),
+		feataug.WithProgress(func(stage feataug.Stage, done, total int) {
+			fmt.Fprintf(out, "fit: %-11s %d/%d\n", stage, done, total)
+		}),
+	}
+	if !allFuncs {
+		opts = append(opts, feataug.WithAggFuncs(agg.Basic()...))
+	}
+	plan, err := feataug.Fit(ctx, repro.DatasetProblem(d), opts...)
+	if err != nil {
+		return err
+	}
+	data, err := plan.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(planPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fit: %d queries from %d templates -> %s\n",
+		len(plan.Queries), len(plan.Templates), planPath)
+	for _, pq := range plan.Queries {
+		fmt.Fprintf(out, "  %-14s loss %.4f  %s\n", pq.Feature, pq.Loss, pq.Query.SQL(dataset))
+	}
+	return nil
+}
+
+// runTransform loads a FeaturePlan and materialises its features onto a
+// fresh batch of the dataset (the transform half of the lifecycle — no
+// search happens here).
+func runTransform(ctx context.Context, planPath, dataset string, fo fitOpts, out, stderr io.Writer) error {
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := feataug.DecodePlan(data)
+	if err != nil {
+		return err
+	}
+	d, err := fo.dataset(dataset)
+	if err != nil {
+		return err
+	}
+	tr, err := plan.Transformer(d.Relevant)
+	if err != nil {
+		return err
+	}
+	augmented, err := tr.Transform(ctx, d.Train)
+	if err != nil {
+		return err
+	}
+	// The CSV is the payload on out (-out redirects it cleanly to a file);
+	// the human-readable summary goes to stderr.
+	fmt.Fprintf(stderr, "transform: %d rows x %d columns (+%d planned features)\n",
+		augmented.NumRows(), len(augmented.Columns()), len(plan.Queries))
+	return augmented.WriteCSV(out)
 }

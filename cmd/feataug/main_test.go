@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunTable1ToStdout(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-exp", "table1", "-rows", "100"}, &buf)
+	err := run(context.Background(), []string{"-exp", "table1", "-rows", "100"}, &buf, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestRunWritesFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "report.txt")
 	var buf bytes.Buffer
-	err := run([]string{"-exp", "table2", "-rows", "100", "-out", path}, &buf)
+	err := run(context.Background(), []string{"-exp", "table2", "-rows", "100", "-out", path}, &buf, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,8 +39,8 @@ func TestRunWritesFile(t *testing.T) {
 
 func TestRunModelAndDatasetFilters(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-exp", "table1", "-rows", "100",
-		"-models", "LR,XGB", "-datasets", "tmall,student"}, &buf)
+	err := run(context.Background(), []string{"-exp", "table1", "-rows", "100",
+		"-models", "LR,XGB", "-datasets", "tmall,student"}, &buf, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,16 +52,16 @@ func TestRunModelAndDatasetFilters(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nope"}, &buf, &buf); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run([]string{"-models", "NOPE"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-models", "NOPE"}, &buf, &buf); err == nil {
 		t.Error("unknown model should fail")
 	}
-	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-bogusflag"}, &buf, &buf); err == nil {
 		t.Error("bad flag should fail")
 	}
-	if err := run([]string{"-exp", "table1", "-out", "/nonexistent/dir/x.txt"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table1", "-out", "/nonexistent/dir/x.txt"}, &buf, &buf); err == nil {
 		t.Error("unwritable output should fail")
 	}
 }
@@ -81,9 +82,9 @@ func TestParseModels(t *testing.T) {
 func TestRunFigureExperimentAndJSONArchive(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	err := run([]string{"-exp", "table7", "-rows", "120", "-models", "LR",
+	err := run(context.Background(), []string{"-exp", "table7", "-rows", "120", "-models", "LR",
 		"-datasets", "student", "-warmup", "6", "-gen", "2",
-		"-templates", "1", "-queries", "1", "-json", dir}, &buf)
+		"-templates", "1", "-queries", "1", "-json", dir}, &buf, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,8 +109,78 @@ func TestRunEachFigure(t *testing.T) {
 		if exp == "fig8" || exp == "fig9" {
 			args = append(args, "-datasets", "merchant")
 		}
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf, &buf); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
+	}
+}
+
+// TestFitTransformRoundTrip exercises the plan flags: fit once to a JSON
+// file, then transform a fresh batch with the saved plan.
+func TestFitTransformRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-fit", "student", "-rows", "150", "-seed", "1", "-models", "LR",
+		"-warmup", "8", "-gen", "3", "-templates", "1", "-queries", "1",
+		"-plan-out", planPath,
+	}, &buf, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fit:") {
+		t.Fatalf("fit output missing summary: %s", buf.String())
+	}
+	if _, err := os.Stat(planPath); err != nil {
+		t.Fatalf("plan file not written: %v", err)
+	}
+
+	// Transform a different batch (fresh seed) with the saved plan. stdout
+	// carries the CSV payload, stderr the human-readable summary.
+	buf.Reset()
+	var errBuf bytes.Buffer
+	err = run(context.Background(), []string{
+		"-plan-in", planPath, "-transform", "student", "-rows", "150", "-seed", "2",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payload must be clean CSV: the first line is the header row and
+	// already carries the planned feature column.
+	out := buf.String()
+	header, _, _ := strings.Cut(out, "\n")
+	if !strings.Contains(header, "feataug_0") || !strings.Contains(header, ",") {
+		t.Fatalf("transform output does not start with the CSV header: %.120s", out)
+	}
+	if !strings.Contains(errBuf.String(), "transform: 150 rows") {
+		t.Fatalf("summary missing from stderr: %s", errBuf.String())
+	}
+}
+
+// TestFitTransformFlagValidation covers the mode-flag error paths.
+func TestFitTransformFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-fit", "student"}, &buf, &buf); err == nil {
+		t.Fatal("-fit without -plan-out should fail")
+	}
+	if err := run(context.Background(), []string{"-plan-in", "x.json"}, &buf, &buf); err == nil {
+		t.Fatal("-plan-in without -transform should fail")
+	}
+	if err := run(context.Background(), []string{"-fit", "a", "-plan-in", "b"}, &buf, &buf); err == nil {
+		t.Fatal("-fit with -plan-in should fail")
+	}
+	if err := run(context.Background(), []string{"-fit", "a", "-plan-out", "p.json", "-transform", "b"}, &buf, &buf); err == nil {
+		t.Fatal("-fit with -transform should fail")
+	}
+	if err := run(context.Background(), []string{"-plan-in", "/nonexistent.json", "-transform", "student"}, &buf, &buf); err == nil {
+		t.Fatal("missing plan file should fail")
+	}
+	if err := run(context.Background(), []string{"-fit", "nope", "-plan-out", "p.json"}, &buf, &buf); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if err := run(context.Background(), []string{"-fit", "student", "-models", "LR,XGB", "-plan-out", "p.json"}, &buf, &buf); err == nil {
+		t.Fatal("-fit with multiple models should fail")
 	}
 }

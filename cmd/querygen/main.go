@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/agg"
 	"repro/internal/datagen"
@@ -22,13 +24,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Interrupt cancels the search between evaluations instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "querygen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("querygen", flag.ContinueOnError)
 	var (
 		dataset   = fs.String("dataset", "tmall", "dataset name")
@@ -79,7 +85,7 @@ func run(args []string) error {
 	}
 	engine := feataug.NewEngine(ev, funcs, cfg)
 
-	tpls, err := engine.IdentifyTemplates(p.PredAttrs, *templates)
+	tpls, err := engine.IdentifyTemplates(ctx, p.PredAttrs, *templates)
 	if err != nil {
 		return err
 	}
@@ -94,9 +100,9 @@ func run(args []string) error {
 		var qs []feataug.GeneratedQuery
 		switch *strategy {
 		case "tpe":
-			qs, err = engine.GenerateQueries(tpl, *queries)
+			qs, err = engine.GenerateQueries(ctx, tpl, *queries)
 		case "halving":
-			qs, err = engine.GenerateQueriesHalving(tpl, *queries, 0)
+			qs, err = engine.GenerateQueriesHalving(ctx, tpl, *queries, 0)
 		default:
 			return fmt.Errorf("unknown strategy %q", *strategy)
 		}

@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunTPEStrategy(t *testing.T) {
-	err := run([]string{"-dataset", "student", "-model", "LR", "-rows", "150",
+	err := run(context.Background(), []string{"-dataset", "student", "-model", "LR", "-rows", "150",
 		"-templates", "1", "-queries", "1"})
 	if err != nil {
 		t.Fatal(err)
@@ -11,7 +14,7 @@ func TestRunTPEStrategy(t *testing.T) {
 }
 
 func TestRunHalvingStrategy(t *testing.T) {
-	err := run([]string{"-dataset", "merchant", "-model", "XGB", "-rows", "150",
+	err := run(context.Background(), []string{"-dataset", "merchant", "-model", "XGB", "-rows", "150",
 		"-templates", "1", "-queries", "1", "-strategy", "halving"})
 	if err != nil {
 		t.Fatal(err)
@@ -19,7 +22,7 @@ func TestRunHalvingStrategy(t *testing.T) {
 }
 
 func TestRunAllFuncs(t *testing.T) {
-	err := run([]string{"-dataset", "student", "-model", "RF", "-rows", "120",
+	err := run(context.Background(), []string{"-dataset", "student", "-model", "RF", "-rows", "120",
 		"-templates", "1", "-queries", "1", "-allfuncs"})
 	if err != nil {
 		t.Fatal(err)
@@ -27,16 +30,16 @@ func TestRunAllFuncs(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-dataset", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-dataset", "nope"}); err == nil {
 		t.Error("unknown dataset should fail")
 	}
-	if err := run([]string{"-model", "NOPE"}); err == nil {
+	if err := run(context.Background(), []string{"-model", "NOPE"}); err == nil {
 		t.Error("unknown model should fail")
 	}
-	if err := run([]string{"-strategy", "nope", "-rows", "120", "-templates", "1", "-queries", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-strategy", "nope", "-rows", "120", "-templates", "1", "-queries", "1"}); err == nil {
 		t.Error("unknown strategy should fail")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("bad flag should fail")
 	}
 }

@@ -135,6 +135,6 @@ func main() {
 	fmt.Printf("\nGenerated %d features across %d relevant tables:\n",
 		len(res.FeatureNames), len(res.PerTable))
 	for _, q := range res.Queries() {
-		fmt.Printf("  [%s] %s\n", q.Table, q.Query.SQL(q.Table))
+		fmt.Printf("  [%s] %s\n", q.Source, q.Query.SQL(q.Source))
 	}
 }

@@ -6,10 +6,13 @@
 //	WHERE department = 'Electronics' AND timestamp >= ...
 //	GROUP BY cname
 //
-// automatically.
+// automatically — through the fit/transform lifecycle: Fit learns a
+// serialisable FeaturePlan once, the plan round-trips through JSON, and a
+// Transformer re-applies it to fresh batches without repeating the search.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 
 	// Build User_Info: one row per customer, label = "will buy a Kindle".
@@ -95,36 +99,61 @@ func main() {
 		BaseFeatures: []string{"age", "gender"},
 	}
 
-	res, err := repro.Augment(p, repro.ModelXGB, repro.BasicAggFuncs(), repro.Config{
-		Seed: 7, WarmupIters: 40, WarmupTopK: 8, GenIters: 10,
-		NumTemplates: 2, QueriesPerTemplate: 2, MaxDepth: 2,
-	})
+	// FIT: run the search once and learn a FeaturePlan. Functional options
+	// configure the run; WithProgress streams coarse stage updates, and the
+	// context would let us cancel a long search.
+	plan, err := repro.Fit(ctx, p,
+		repro.WithConfig(repro.Config{
+			WarmupIters: 40, WarmupTopK: 8, GenIters: 10,
+			NumTemplates: 2, QueriesPerTemplate: 2, MaxDepth: 2,
+		}),
+		repro.WithModel(repro.ModelXGB),
+		repro.WithAggFuncs(repro.BasicAggFuncs()...),
+		repro.WithSeed(7),
+		repro.WithProgress(func(stage repro.Stage, done, total int) {
+			fmt.Printf("  [fit] %-11s %d/%d\n", stage, done, total)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("Identified query templates (WHERE-clause attribute combinations):")
-	for _, ts := range res.Templates {
+	fmt.Println("\nIdentified query templates (WHERE-clause attribute combinations):")
+	for _, ts := range plan.Templates {
 		fmt.Printf("  %v  (effectiveness %.4f)\n", ts.PredAttrs, ts.Score)
 	}
 	fmt.Println("\nGenerated predicate-aware SQL queries:")
-	for _, gq := range res.Queries {
-		fmt.Printf("  %s   (validation loss %.4f)\n", gq.Query.SQL("User_Logs"), gq.Loss)
+	for _, pq := range plan.Queries {
+		fmt.Printf("  %s   (validation loss %.4f)\n", pq.Query.SQL("User_Logs"), pq.Loss)
 	}
 
-	// The batch executor is how everything above ran under the hood: one
-	// group index per key-set and one bitmap per predicate, shared across
-	// queries, with the batch evaluated on a worker pool. It is also the
-	// fast path for serving query results directly:
-	ex := repro.NewExecutor(userLogs)
-	tables, err := ex.ExecuteBatch(res.QueryList(), "feature")
+	// SAVE / LOAD: the plan is a plain JSON document, so the expensive
+	// search runs once and the artefact ships to a serving process.
+	data, err := plan.Encode()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nPer-customer feature tables from one executor batch:")
-	for i, tbl := range tables {
-		fmt.Printf("  query %d -> %d groups\n", i, tbl.NumRows())
+	loaded, err := repro.DecodePlan(data)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nPlan round-tripped through %d bytes of JSON (version %d)\n",
+		len(data), loaded.Version)
+
+	// TRANSFORM: bind the loaded plan to the relevant table and materialise
+	// the planned features onto any table with matching keys — here the
+	// training table itself; in production, each fresh batch. One cached
+	// batch executor is shared across Transform calls.
+	tr, err := loaded.Transformer(userLogs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	augmented, err := tr.Transform(ctx, userInfo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Transformed %d rows, appended features: %v\n",
+		augmented.NumRows(), tr.FeatureNames())
 
 	// Compare the model with and without the generated features.
 	ev, err := repro.NewEvaluator(p, repro.ModelXGB, 7)
@@ -135,7 +164,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	augValid, augTest, err := ev.QuerySetScores(res.QueryList())
+	augValid, augTest, err := ev.QuerySetScores(loaded.QueryList())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -74,14 +76,14 @@ func TestFacadeEngineDirect(t *testing.T) {
 		Seed: 6, WarmupIters: 8, WarmupTopK: 3, GenIters: 3,
 		NumTemplates: 1, QueriesPerTemplate: 1, MaxDepth: 1, TemplateProxyIters: 4,
 	})
-	tpls, err := engine.IdentifyTemplates(p.PredAttrs, 2)
+	tpls, err := engine.IdentifyTemplates(context.Background(), p.PredAttrs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tpls) == 0 {
 		t.Fatal("no templates identified")
 	}
-	qs, err := engine.GenerateQueries(engine.Template(tpls[0].PredAttrs), 1)
+	qs, err := engine.GenerateQueries(context.Background(), engine.Template(tpls[0].PredAttrs), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,5 +144,99 @@ func TestFacadeParseSQL(t *testing.T) {
 	}
 	if _, _, err := ParseSQL("garbage"); err == nil {
 		t.Fatal("garbage should fail")
+	}
+}
+
+// TestFacadeFitTransformLifecycle drives the fit → save → load → transform
+// flow through the public API only, and checks it agrees with the deprecated
+// one-shot Augment on the same data and seed.
+func TestFacadeFitTransformLifecycle(t *testing.T) {
+	d, err := GenerateDataset("tmall", 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DatasetProblem(d)
+	p.PredAttrs = p.PredAttrs[:3]
+	cfg := Config{
+		Seed: 5, WarmupIters: 10, WarmupTopK: 3, GenIters: 3,
+		NumTemplates: 2, QueriesPerTemplate: 1, MaxDepth: 2,
+		TemplateProxyIters: 5,
+	}
+
+	var stages []Stage
+	plan, err := Fit(context.Background(), p,
+		WithConfig(cfg), WithModel(ModelLR), WithAggFuncs(BasicAggFuncs()...),
+		WithProgress(func(s Stage, done, total int) { stages = append(stages, s) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Queries) == 0 || plan.Version != PlanVersion {
+		t.Fatalf("bad plan: %+v", plan)
+	}
+	if len(stages) == 0 {
+		t.Fatal("no progress callbacks")
+	}
+
+	data, err := plan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loaded.Transformer(p.Relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Transform(context.Background(), p.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Augment(p, ModelLR, BasicAggFuncs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != len(plan.Queries) {
+		t.Fatalf("augment %d queries, plan %d", len(res.Queries), len(plan.Queries))
+	}
+	for _, name := range res.FeatureNames {
+		wc := res.Augmented.Column(name)
+		gc := got.Column(name)
+		if gc == nil {
+			t.Fatalf("missing column %q", name)
+		}
+		for row := 0; row < got.NumRows(); row++ {
+			wv, wok := wc.AsFloat(row)
+			gv, gok := gc.AsFloat(row)
+			if wv != gv || wok != gok {
+				t.Fatalf("%s row %d: fit/transform %v,%v != augment %v,%v",
+					name, row, gv, gok, wv, wok)
+			}
+		}
+	}
+
+	// Mismatched keys surface the typed sentinel through the facade.
+	badTable, err := p.Train.SelectColumns(p.BaseFeatures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Transform(context.Background(), badTable); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("err = %v, want ErrKeyMismatch", err)
+	}
+}
+
+// TestFacadeFitCancellation checks context cancellation propagates through
+// the facade.
+func TestFacadeFitCancellation(t *testing.T) {
+	d, err := GenerateDataset("tmall", 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fit(ctx, DatasetProblem(d), WithModel(ModelLR)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

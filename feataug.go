@@ -17,16 +17,39 @@
 //     synthetic dataset generators, and the experiment harness regenerating
 //     each table and figure of the evaluation.
 //
-// Quick start:
+// The public API follows a scikit-learn-style fit/transform lifecycle. Fit
+// runs the search once and returns a serialisable FeaturePlan — the learned
+// set of predicate-aware SQL queries with their validation losses:
 //
 //	p := repro.Problem{Train: d, Relevant: r, Label: "label", Task: repro.TaskBinary,
 //	    Keys: []string{"cname"}, AggAttrs: []string{"pprice"},
 //	    PredAttrs: []string{"department", "timestamp"}, BaseFeatures: []string{"age"}}
-//	res, err := repro.Augment(p, repro.ModelXGB, nil, repro.Config{})
-//	// res.Augmented now carries the generated predicate-aware features.
+//	plan, err := repro.Fit(ctx, p, repro.WithModel(repro.ModelXGB), repro.WithSeed(7))
+//
+// Plans round-trip through JSON, so the expensive search runs once and the
+// result is persisted:
+//
+//	data, _ := plan.Encode()              // save
+//	plan, _ = repro.DecodePlan(data)      // load (possibly in another process)
+//
+// Transforming binds the plan to a relevant table and materialises the
+// planned features onto any table with matching keys — the online-serving
+// fast path, running every query through one shared cached batch executor:
+//
+//	tr, _ := plan.Transformer(r)
+//	augmented, err := tr.Transform(ctx, freshBatch)
+//
+// Fit is configured with functional options (WithModel, WithAggFuncs,
+// WithSeed, WithProxy, WithConfig, WithProgress), long searches are
+// cancellable through the context, and failure modes surface as typed
+// sentinel errors (ErrNoTemplates, ErrKeyMismatch, ErrPlanVersion, ...)
+// testable with errors.Is. The one-shot Augment entry point remains as a
+// deprecated wrapper over the same engine.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/agg"
 	"repro/internal/baselines"
 	"repro/internal/dataframe"
@@ -81,6 +104,80 @@ type (
 	// TemplateScore is an identified template with its effectiveness.
 	TemplateScore = feataug.TemplateScore
 )
+
+// Fit/transform lifecycle.
+type (
+	// FeaturePlan is the serialisable outcome of a Fit run: the learned
+	// predicate-aware queries plus everything needed to re-apply them.
+	FeaturePlan = feataug.FeaturePlan
+	// PlannedQuery is one query inside a FeaturePlan.
+	PlannedQuery = feataug.PlannedQuery
+	// Transformer applies a fitted FeaturePlan to new tables.
+	Transformer = feataug.Transformer
+	// Option configures a Fit call.
+	Option = feataug.Option
+	// Stage identifies one phase of a run for WithProgress callbacks.
+	Stage = feataug.Stage
+)
+
+// PlanVersion is the FeaturePlan serialisation version this build writes.
+const PlanVersion = feataug.PlanVersion
+
+// Progress stages, in execution order.
+const (
+	StageQTI         = feataug.StageQTI
+	StageWarmup      = feataug.StageWarmup
+	StageGenerate    = feataug.StageGenerate
+	StageMaterialize = feataug.StageMaterialize
+)
+
+// Sentinel errors of the fit/transform lifecycle; test with errors.Is.
+var (
+	ErrNoTemplates    = feataug.ErrNoTemplates
+	ErrNoQueries      = feataug.ErrNoQueries
+	ErrKeyMismatch    = feataug.ErrKeyMismatch
+	ErrSchemaMismatch = feataug.ErrSchemaMismatch
+	ErrPlanVersion    = feataug.ErrPlanVersion
+	ErrEmptyPlan      = feataug.ErrEmptyPlan
+	ErrNilTable       = feataug.ErrNilTable
+)
+
+// WithModel selects the downstream model family (default XGB).
+func WithModel(m ModelKind) Option { return feataug.WithModel(m) }
+
+// WithAggFuncs restricts the aggregation function set F (default: all 15).
+func WithAggFuncs(funcs ...AggFunc) Option { return feataug.WithAggFuncs(funcs...) }
+
+// WithSeed fixes the random seed of the search and the evaluation split.
+func WithSeed(seed int64) Option { return feataug.WithSeed(seed) }
+
+// WithProxy selects the low-cost proxy (MI / SC / LR; default MI).
+func WithProxy(p ProxyKind) Option { return feataug.WithProxy(p) }
+
+// WithConfig replaces the entire engine configuration; combine it with
+// narrower options by placing it first (options apply in order).
+func WithConfig(cfg Config) Option { return feataug.WithConfig(cfg) }
+
+// WithProgress registers a stage-level progress callback.
+func WithProgress(fn func(stage Stage, done, total int)) Option {
+	return feataug.WithProgress(fn)
+}
+
+// WithLogf registers a printf-style progress logger.
+func WithLogf(logf func(format string, args ...interface{})) Option {
+	return feataug.WithLogf(logf)
+}
+
+// Fit runs the complete FeatAug search on a problem and returns the learned
+// FeaturePlan. Cancelling the context stops the search promptly with an
+// error wrapping ctx.Err().
+func Fit(ctx context.Context, p Problem, opts ...Option) (*FeaturePlan, error) {
+	return feataug.Fit(ctx, p, opts...)
+}
+
+// DecodePlan deserialises a FeaturePlan produced by FeaturePlan.Encode,
+// rejecting incompatible versions with ErrPlanVersion.
+func DecodePlan(data []byte) (*FeaturePlan, error) { return feataug.DecodePlan(data) }
 
 // Evaluation plumbing.
 type (
@@ -145,12 +242,18 @@ func NewEngine(e *Evaluator, funcs []AggFunc, cfg Config) *Engine {
 // Augment runs the complete FeatAug workflow (query template identification
 // followed by predicate-aware SQL query generation) and returns the
 // augmented training table plus the generated queries.
+//
+// Deprecated: Augment fuses search and materialisation into one
+// uncancellable call. Use Fit to learn a serialisable FeaturePlan and
+// FeaturePlan.Transformer to apply it — the same engine underneath, with
+// context cancellation, functional options and a persistable artefact.
+// Augment is kept as a thin compatibility wrapper.
 func Augment(p Problem, model ModelKind, funcs []AggFunc, cfg Config) (*Result, error) {
 	e, err := pipeline.NewEvaluator(p, model, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return feataug.NewEngine(e, funcs, cfg).Run()
+	return feataug.NewEngine(e, funcs, cfg).Run(context.Background())
 }
 
 // Featuretools enumerates the predicate-free DFS query space, the baseline
@@ -199,6 +302,8 @@ type (
 	RelevantInput = feataug.RelevantInput
 	// MultiResult is the outcome of a multi-relevant-table run.
 	MultiResult = feataug.MultiResult
+	// NamedQuery pairs a generated query with the name of its source table.
+	NamedQuery = feataug.NamedQuery
 )
 
 // Relationship cardinalities.
@@ -213,9 +318,16 @@ func NewSchema() *Schema { return relschema.NewSchema() }
 
 // AugmentMulti runs FeatAug once per relevant table and merges every
 // generated feature onto one training table (the paper's multiple-relevant-
-// tables decomposition).
+// tables decomposition). Use AugmentMultiContext to make the search
+// cancellable.
 func AugmentMulti(base Problem, model ModelKind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
-	return feataug.AugmentMulti(base, model, cfg, inputs)
+	return feataug.AugmentMulti(context.Background(), base, model, cfg, inputs)
+}
+
+// AugmentMultiContext is AugmentMulti under a context: cancellation stops the
+// per-table searches between evaluations.
+func AugmentMultiContext(ctx context.Context, base Problem, model ModelKind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
+	return feataug.AugmentMulti(ctx, base, model, cfg, inputs)
 }
 
 // ParseSQL parses a predicate-aware SQL query in the paper's canonical form

@@ -5,6 +5,7 @@ package repro
 // are fixed; budgets are chosen so the assertions are stable.
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -113,7 +114,7 @@ func TestClaimQTIIdentifiesPlantedTemplate(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine := NewEngine(ev, BasicAggFuncs(), integrationConfig(5))
-	tpls, err := engine.IdentifyTemplates(p.PredAttrs, 3)
+	tpls, err := engine.IdentifyTemplates(context.Background(), p.PredAttrs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,30 @@
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the function as its SQL-style name ("SUM", "AVG", ...)
+// so serialised query plans stay readable and stable if the enumeration is
+// ever reordered.
+func (f Func) MarshalJSON() ([]byte, error) {
+	if f < 0 || int(f) >= len(names) {
+		return nil, fmt.Errorf("agg: cannot marshal unknown function %d", int(f))
+	}
+	return json.Marshal(f.String())
+}
+
+// UnmarshalJSON decodes a function from its SQL-style name.
+func (f *Func) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("agg: function must be a JSON string: %w", err)
+	}
+	parsed, err := Parse(name)
+	if err != nil {
+		return err
+	}
+	*f = parsed
+	return nil
+}

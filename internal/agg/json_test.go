@@ -1,0 +1,35 @@
+package agg
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFuncJSONRoundTrip(t *testing.T) {
+	for _, f := range All() {
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Func
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != f {
+			t.Fatalf("round trip %s -> %s", f, got)
+		}
+	}
+}
+
+func TestFuncJSONRejectsBadValues(t *testing.T) {
+	if _, err := json.Marshal(Func(99)); err == nil {
+		t.Fatal("unknown func should not marshal")
+	}
+	var f Func
+	if err := json.Unmarshal([]byte(`"NOPE"`), &f); err == nil {
+		t.Fatal("unknown name should not unmarshal")
+	}
+	if err := json.Unmarshal([]byte(`3`), &f); err == nil {
+		t.Fatal("numeric form should not unmarshal")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datagen"
@@ -55,7 +56,7 @@ func RunFig5(cfg Config) ([]Fig5Row, error) {
 				fc := cfg.feataugConfig(cfg.Seed)
 				v.mutate(&fc)
 				engine := feataug.NewEngine(ev, cfg.Funcs, fc)
-				res, err := engine.Run()
+				res, err := engine.Run(context.Background())
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s/%s/%s: %w", name, kind, v.name, err)
 				}
@@ -112,7 +113,7 @@ func RunFig6(cfg Config) ([]Fig6Row, error) {
 				fc := cfg.feataugConfig(cfg.Seed)
 				fc.NumTemplates = n
 				engine := feataug.NewEngine(ev, cfg.Funcs, fc)
-				res, err := engine.Run()
+				res, err := engine.Run(context.Background())
 				if err != nil {
 					return nil, fmt.Errorf("fig6 %s/%s/n=%d: %w", name, kind, n, err)
 				}
@@ -224,7 +225,7 @@ func (c Config) runScaleSweep(title string, sweep []int, build func(x int) *data
 				return nil, err
 			}
 			engine := feataug.NewEngine(ev, c.Funcs, c.feataugConfig(c.Seed))
-			res, err := engine.Run()
+			res, err := engine.Run(context.Background())
 			if err != nil {
 				return nil, fmt.Errorf("scale sweep %s x=%d: %w", d.Name, x, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,7 +91,7 @@ func (c Config) runMethod(e *pipeline.Evaluator, method string, seed int64) (Cel
 	case MethodFeatAug:
 		engine := feataug.NewEngine(e, c.Funcs, c.feataugConfig(seed))
 		var res *feataug.Result
-		res, err = engine.Run()
+		res, err = engine.Run(context.Background())
 		if err == nil {
 			qs = res.QueryList()
 		}

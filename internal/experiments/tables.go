@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -214,7 +215,7 @@ func RunTable7(cfg Config) ([]Cell, error) {
 					fc := cfg.feataugConfig(cfg.Seed + int64(rep))
 					v.mutate(&fc)
 					engine := feataug.NewEngine(ev, cfg.Funcs, fc)
-					res, err := engine.Run()
+					res, err := engine.Run(context.Background())
 					if err != nil {
 						return nil, fmt.Errorf("%s/%s/%s: %w", name, kind, v.name, err)
 					}
@@ -258,7 +259,7 @@ func RunTable8(cfg Config) ([]Cell, error) {
 					fc := cfg.feataugConfig(cfg.Seed + int64(rep))
 					fc.Proxy = proxy
 					engine := feataug.NewEngine(ev, cfg.Funcs, fc)
-					res, err := engine.Run()
+					res, err := engine.Run(context.Background())
 					if err != nil {
 						return nil, fmt.Errorf("%s/%s/%s: %w", name, kind, proxy, err)
 					}

@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,23 +39,29 @@ type Result struct {
 // Run executes the full FeatAug workflow (Figure 2): identify the promising
 // query templates (unless disabled), then generate queries from each
 // template's pool, and augment the training table with every generated
-// feature.
-func (e *Engine) Run() (*Result, error) {
+// feature. Cancelling the context stops the search between evaluations and
+// returns an error wrapping ctx.Err().
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{}
 	attrs := e.eval.P.PredAttrs
 
 	var templates []TemplateScore
 	t0 := time.Now()
+	e.cfg.progress(StageQTI, 0, 1)
 	if e.cfg.DisableQTI {
 		// NoQTI ablation: the single template over all provided attributes.
 		templates = []TemplateScore{{PredAttrs: append([]string(nil), attrs...)}}
 	} else {
 		var err error
-		templates, err = e.IdentifyTemplates(attrs, e.cfg.NumTemplates)
+		templates, err = e.IdentifyTemplates(ctx, attrs, e.cfg.NumTemplates)
 		if err != nil {
 			return nil, err
 		}
 	}
+	e.cfg.progress(StageQTI, 1, 1)
 	res.Timing.QTI = time.Since(t0)
 	res.Templates = templates
 	for _, ts := range templates {
@@ -65,10 +72,11 @@ func (e *Engine) Run() (*Result, error) {
 	// instrumenting the evaluator's proxy counter — warm-up cost is proxy
 	// evaluations plus the priming real evaluations, generation cost is the
 	// rest. For wall-clock purposes we time the two phases directly.
-	for _, ts := range templates {
+	for ti, ts := range templates {
+		e.cfg.progress(StageGenerate, ti, len(templates))
 		tpl := e.Template(ts.PredAttrs)
 		tGen := time.Now()
-		qs, err := e.GenerateQueries(tpl, e.cfg.QueriesPerTemplate)
+		qs, err := e.generateQueries(ctx, tpl, e.cfg.QueriesPerTemplate, ti, len(templates))
 		if err != nil {
 			return nil, err
 		}
@@ -88,6 +96,7 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		res.Queries = append(res.Queries, qs...)
 	}
+	e.cfg.progress(StageGenerate, len(templates), len(templates))
 	e.cfg.logf("feataug: %d queries in %s (QTI %s, warm-up %s, generate %s)",
 		len(res.Queries), res.Timing.Total().Round(time.Millisecond),
 		res.Timing.QTI.Round(time.Millisecond), res.Timing.Warmup.Round(time.Millisecond),
@@ -95,8 +104,9 @@ func (e *Engine) Run() (*Result, error) {
 
 	// Materialise every generated feature in one executor batch (searches
 	// usually leave these cached, but a cold run pays the cost in parallel).
+	e.cfg.progress(StageMaterialize, 0, 1)
 	aug := e.eval.P.Train.Clone()
-	vals, valid, err := e.eval.FeatureBatch(res.QueryList())
+	vals, valid, err := e.eval.FeatureBatchContext(ctx, res.QueryList())
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +118,7 @@ func (e *Engine) Run() (*Result, error) {
 		res.FeatureNames = append(res.FeatureNames, name)
 	}
 	res.Augmented = aug
+	e.cfg.progress(StageMaterialize, 1, 1)
 	return res, nil
 }
 

@@ -7,6 +7,8 @@
 package feataug
 
 import (
+	"fmt"
+
 	"repro/internal/hpo"
 	"repro/internal/pipeline"
 	"repro/internal/query"
@@ -78,12 +80,56 @@ type Config struct {
 	// Logf, when non-nil, receives progress lines (template identified,
 	// queries generated, phase timings). Printf-style.
 	Logf func(format string, args ...interface{})
+
+	// Progress, when non-nil, receives coarse stage-level progress callbacks
+	// from Run: (stage, done, total) with done in [0, total]. Set it through
+	// WithProgress. Callbacks run synchronously on the search goroutine, so
+	// they must be fast and must not block.
+	Progress func(stage Stage, done, total int)
+}
+
+// Stage identifies one phase of a FeatAug run for progress reporting.
+type Stage int
+
+// Run stages, in execution order.
+const (
+	// StageQTI is query template identification (Section VI).
+	StageQTI Stage = iota
+	// StageWarmup is the proxy-task TPE warm-up of one template (Section V.C).
+	StageWarmup
+	// StageGenerate is real-evaluation query generation, one unit per
+	// template.
+	StageGenerate
+	// StageMaterialize is the final feature materialisation batch.
+	StageMaterialize
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageQTI:
+		return "qti"
+	case StageWarmup:
+		return "warmup"
+	case StageGenerate:
+		return "generate"
+	case StageMaterialize:
+		return "materialize"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
 }
 
 // logf forwards to Logf when set.
 func (c Config) logf(format string, args ...interface{}) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
+	}
+}
+
+// progress forwards to Progress when set.
+func (c Config) progress(stage Stage, done, total int) {
+	if c.Progress != nil {
+		c.Progress(stage, done, total)
 	}
 }
 

@@ -1,0 +1,28 @@
+package feataug
+
+import "errors"
+
+// Sentinel errors of the fit/transform lifecycle. Every error returned by
+// Fit, FeaturePlan and Transformer that corresponds to one of these
+// conditions wraps the sentinel with %w, so callers can branch with
+// errors.Is regardless of the contextual detail in the message.
+var (
+	// ErrNoTemplates reports that query template identification had no
+	// candidate attributes or produced no templates.
+	ErrNoTemplates = errors.New("feataug: no query templates")
+	// ErrNoQueries reports that query generation produced no valid queries.
+	ErrNoQueries = errors.New("feataug: no valid queries generated")
+	// ErrKeyMismatch reports that a table is missing join-key columns the
+	// plan requires.
+	ErrKeyMismatch = errors.New("feataug: join keys missing from table")
+	// ErrSchemaMismatch reports that the relevant table is missing
+	// aggregation or predicate columns the plan's queries reference.
+	ErrSchemaMismatch = errors.New("feataug: plan references columns missing from relevant table")
+	// ErrPlanVersion reports a serialised plan whose version this build
+	// cannot interpret.
+	ErrPlanVersion = errors.New("feataug: unsupported feature-plan version")
+	// ErrEmptyPlan reports a plan with no queries to transform with.
+	ErrEmptyPlan = errors.New("feataug: feature plan has no queries")
+	// ErrNilTable reports a nil table argument.
+	ErrNilTable = errors.New("feataug: nil table")
+)

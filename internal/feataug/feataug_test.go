@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestEngineDefaultsToFullFunctionSet(t *testing.T) {
 func TestGenerateQueriesReturnsDistinctSorted(t *testing.T) {
 	e := smallEngine(t, Config{})
 	tpl := e.Template([]string{"action", "timestamp"})
-	qs, err := e.GenerateQueries(tpl, 3)
+	qs, err := e.GenerateQueries(context.Background(), tpl, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestGenerateQueriesReturnsDistinctSorted(t *testing.T) {
 func TestGenerateQueriesNoWarmup(t *testing.T) {
 	e := smallEngine(t, Config{DisableWarmup: true, NoWarmupIters: 8})
 	tpl := e.Template([]string{"action"})
-	qs, err := e.GenerateQueries(tpl, 2)
+	qs, err := e.GenerateQueries(context.Background(), tpl, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,14 +117,14 @@ func TestGenerateQueriesNoWarmup(t *testing.T) {
 func TestGenerateQueriesBadTemplate(t *testing.T) {
 	e := smallEngine(t, Config{})
 	tpl := e.Template([]string{"ghost"})
-	if _, err := e.GenerateQueries(tpl, 2); err == nil {
+	if _, err := e.GenerateQueries(context.Background(), tpl, 2); err == nil {
 		t.Fatal("bad template should fail")
 	}
 }
 
 func TestIdentifyTemplatesShape(t *testing.T) {
 	e := smallEngine(t, Config{})
-	got, err := e.IdentifyTemplates([]string{"action", "category", "timestamp"}, 4)
+	got, err := e.IdentifyTemplates(context.Background(), []string{"action", "category", "timestamp"}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestIdentifyTemplatesShape(t *testing.T) {
 
 func TestIdentifyTemplatesEmptyAttrs(t *testing.T) {
 	e := smallEngine(t, Config{})
-	if _, err := e.IdentifyTemplates(nil, 2); err == nil {
+	if _, err := e.IdentifyTemplates(context.Background(), nil, 2); err == nil {
 		t.Fatal("empty attrs should fail")
 	}
 }
@@ -160,7 +161,7 @@ func TestIdentifyTemplatesWithoutOptimisations(t *testing.T) {
 	// Opt1 off: real evaluations drive template scoring (slow path, tiny
 	// budget). Opt2 off: all children proxy-evaluated.
 	e := smallEngine(t, Config{DisableProxyOpt: true, DisablePredictor: true, TemplateProxyIters: 4})
-	got, err := e.IdentifyTemplates([]string{"action", "category"}, 2)
+	got, err := e.IdentifyTemplates(context.Background(), []string{"action", "category"}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestIdentifyTemplatesPicksSignalAttribute(t *testing.T) {
 	// In the tmall generator the signal is on action+timestamp; the noise
 	// attribute "brand" should not win the top slot.
 	e := smallEngine(t, Config{TemplateProxyIters: 15, MaxDepth: 1})
-	got, err := e.IdentifyTemplates([]string{"action", "brand", "timestamp"}, 3)
+	got, err := e.IdentifyTemplates(context.Background(), []string{"action", "brand", "timestamp"}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestIdentifyTemplatesPicksSignalAttribute(t *testing.T) {
 
 func TestRunFullPipeline(t *testing.T) {
 	e := smallEngine(t, Config{})
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestRunFullPipeline(t *testing.T) {
 
 func TestRunNoQTIUsesSingleTemplate(t *testing.T) {
 	e := smallEngine(t, Config{DisableQTI: true})
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestRunNoQTIUsesSingleTemplate(t *testing.T) {
 
 func TestRunNoWarmupTiming(t *testing.T) {
 	e := smallEngine(t, Config{DisableWarmup: true, NoWarmupIters: 6, DisableQTI: true})
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSolveSingular(t *testing.T) {
 func TestEngineDeterministic(t *testing.T) {
 	run := func() []string {
 		e := smallEngine(t, Config{Seed: 42})
-		res, err := e.Run()
+		res, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -318,7 +319,7 @@ func TestSeedQueriesPrimeTheSearch(t *testing.T) {
 	}
 	e := smallEngine(t, Config{SeedQueries: []query.Query{seed}, WarmupIters: 5, WarmupTopK: 2, GenIters: 2})
 	tpl := e.Template([]string{"action"})
-	qs, err := e.GenerateQueries(tpl, 5)
+	qs, err := e.GenerateQueries(context.Background(), tpl, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestSeedQueriesOutsideTemplateSkipped(t *testing.T) {
 	bad := query.Query{Agg: agg.Count, AggAttr: "ghost", Keys: []string{"user_id"}}
 	e := smallEngine(t, Config{SeedQueries: []query.Query{bad}, DisableWarmup: true, NoWarmupIters: 4})
 	tpl := e.Template([]string{"action"})
-	if _, err := e.GenerateQueries(tpl, 2); err != nil {
+	if _, err := e.GenerateQueries(context.Background(), tpl, 2); err != nil {
 		t.Fatalf("inexpressible seed should be skipped, got %v", err)
 	}
 }

@@ -1,0 +1,258 @@
+package feataug
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/dataframe"
+	"repro/internal/datagen"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+)
+
+// fitConfig is the small budget shared by the fit tests.
+func fitTestConfig() Config {
+	return Config{
+		Seed: 1, WarmupIters: 15, WarmupTopK: 4, GenIters: 5,
+		TemplateProxyIters: 8, MaxDepth: 2, NumTemplates: 2, QueriesPerTemplate: 2,
+	}
+}
+
+// TestFitTransformMatchesAugment is the acceptance differential: Fit + JSON
+// save/load + Transform on the training table must produce feature columns
+// identical row-for-row to the one-shot Augment path on the same data and
+// seed.
+func TestFitTransformMatchesAugment(t *testing.T) {
+	p := smallProblem(t)
+	cfg := fitTestConfig()
+
+	// Legacy one-shot path.
+	ev, err := pipeline.NewEvaluator(p, ml.KindLR, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(ev, agg.Basic(), cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fit/transform path, with a JSON round trip in the middle.
+	plan, err := Fit(context.Background(), p,
+		WithConfig(cfg), WithModel(ml.KindLR), WithAggFuncs(agg.Basic()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := plan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loaded.Transformer(p.Relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Transform(context.Background(), p.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plan.Queries) != len(res.Queries) {
+		t.Fatalf("plan has %d queries, augment %d", len(plan.Queries), len(res.Queries))
+	}
+	for i, pq := range plan.Queries {
+		if want := res.Queries[i].Query.SQL("R"); pq.Query.SQL("R") != want {
+			t.Fatalf("query %d mismatch: %s != %s", i, pq.Query.SQL("R"), want)
+		}
+	}
+	if got.NumRows() != res.Augmented.NumRows() {
+		t.Fatalf("rows %d != %d", got.NumRows(), res.Augmented.NumRows())
+	}
+	for _, name := range res.FeatureNames {
+		wc := res.Augmented.Column(name)
+		gc := got.Column(name)
+		if gc == nil {
+			t.Fatalf("transform output missing column %q", name)
+		}
+		for row := 0; row < got.NumRows(); row++ {
+			if wc.IsNull(row) != gc.IsNull(row) {
+				t.Fatalf("%s row %d null mismatch", name, row)
+			}
+			wv, _ := wc.AsFloat(row)
+			gv, _ := gc.AsFloat(row)
+			if wv != gv {
+				t.Fatalf("%s row %d: %v != %v", name, row, gv, wv)
+			}
+		}
+	}
+}
+
+// TestTransformKeyMismatch asserts the typed sentinel for a table without the
+// plan's join keys.
+func TestTransformKeyMismatch(t *testing.T) {
+	p := smallProblem(t)
+	plan, err := Fit(context.Background(), p,
+		WithConfig(fitTestConfig()), WithModel(ml.KindLR), WithAggFuncs(agg.Basic()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := plan.Transformer(p.Relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A table with the key column dropped.
+	noKeys, err := p.Train.SelectColumns(p.BaseFeatures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Transform(context.Background(), noKeys); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("err = %v, want ErrKeyMismatch", err)
+	}
+	// Binding a plan to a relevant table without the keys fails the same way.
+	if _, err := plan.Transformer(noKeys); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("transformer err = %v, want ErrKeyMismatch", err)
+	}
+	// Nil inputs surface ErrNilTable.
+	if _, err := tr.Transform(context.Background(), nil); !errors.Is(err, ErrNilTable) {
+		t.Fatalf("nil transform err = %v, want ErrNilTable", err)
+	}
+	if _, err := plan.Transformer(nil); !errors.Is(err, ErrNilTable) {
+		t.Fatalf("nil transformer err = %v, want ErrNilTable", err)
+	}
+}
+
+// TestTransformerSchemaMismatch asserts ErrSchemaMismatch when the relevant
+// table lacks a column the plan's queries aggregate or filter on.
+func TestTransformerSchemaMismatch(t *testing.T) {
+	plan := fixturePlan()
+	// A relevant table carrying the plan's keys but none of the aggregation
+	// or predicate columns.
+	keysOnly := dataframe.MustNewTable(
+		dataframe.NewStringColumn("cname", []string{"a", "b"}, nil),
+		dataframe.NewStringColumn("region", []string{"n", "s"}, nil),
+	)
+	if _, err := plan.Transformer(keysOnly); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+// TestFitCancellation asserts Fit returns context.Canceled quickly on a
+// large synthetic problem once the context is cancelled.
+func TestFitCancellation(t *testing.T) {
+	// A deliberately heavy problem: many rows, full attribute set, deep QTI
+	// and big budgets — an uncancelled run takes minutes, so even the
+	// generous bounds below prove promptness. -short (the CI race job, where
+	// the detector slows everything 5-20x) scales the data down; the
+	// cancellation machinery under test is identical.
+	rows, logsPerKey := 4000, 20
+	if testing.Short() {
+		rows, logsPerKey = 1200, 10
+	}
+	d := datagen.Tmall(datagen.Options{TrainRows: rows, LogsPerKey: logsPerKey, Seed: 3})
+	p := pipeline.Problem{
+		Train: d.Train, Relevant: d.Relevant, Label: d.Label, Task: d.Task,
+		Keys: d.Keys, AggAttrs: d.AggAttrs, PredAttrs: d.PredAttrs,
+		BaseFeatures: d.BaseFeatures,
+	}
+	cfg := Config{
+		Seed: 3, WarmupIters: 500, WarmupTopK: 50, GenIters: 200,
+		NumTemplates: 8, QueriesPerTemplate: 5, MaxDepth: 4, TemplateProxyIters: 100,
+	}
+
+	// Already-cancelled context: Fit bails before the evaluator is even
+	// built, so this is near-instant regardless of problem size.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := Fit(cancelled, p, WithConfig(cfg), WithModel(ml.KindLR)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pre-cancelled Fit took %s", elapsed)
+	}
+
+	// Cancellation mid-search: returns promptly (bounded generously so slow
+	// CI machines do not flake — an uncancelled run is far longer).
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel2()
+	}()
+	start = time.Now()
+	_, err := Fit(ctx, p, WithConfig(cfg), WithModel(ml.KindLR))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancelled Fit took %s to return", elapsed)
+	}
+}
+
+// TestFitOptions exercises the option combinators.
+func TestFitOptions(t *testing.T) {
+	var o fitOptions
+	WithModel(ml.KindRF)(&o)
+	WithAggFuncs(agg.Sum, agg.Max)(&o)
+	WithSeed(42)(&o)
+	WithProxy(pipeline.ProxySC)(&o)
+	WithProgress(func(Stage, int, int) {})(&o)
+	WithLogf(func(string, ...interface{}) {})(&o)
+	if o.model != ml.KindRF || len(o.funcs) != 2 || o.cfg.Seed != 42 ||
+		o.cfg.Proxy != pipeline.ProxySC || o.cfg.Progress == nil || o.cfg.Logf == nil {
+		t.Fatalf("options not applied: %+v", o)
+	}
+	// WithConfig replaces the whole config, wiping the earlier seed.
+	WithConfig(Config{GenIters: 7})(&o)
+	if o.cfg.Seed != 0 || o.cfg.GenIters != 7 {
+		t.Fatalf("WithConfig should replace config: %+v", o.cfg)
+	}
+}
+
+// TestFitProgressStages checks every stage reports with done <= total and
+// ends complete.
+func TestFitProgressStages(t *testing.T) {
+	p := smallProblem(t)
+	last := map[Stage][2]int{}
+	_, err := Fit(context.Background(), p,
+		WithConfig(fitTestConfig()), WithModel(ml.KindLR), WithAggFuncs(agg.Basic()...),
+		WithProgress(func(stage Stage, done, total int) {
+			if done < 0 || done > total {
+				t.Errorf("stage %s: done %d out of [0,%d]", stage, done, total)
+			}
+			// Within one stage, progress never moves backwards (a consumer
+			// can render it as a bar).
+			if prev, ok := last[stage]; ok && (done < prev[0] || total != prev[1]) {
+				t.Errorf("stage %s went backwards: %d/%d after %d/%d",
+					stage, done, total, prev[0], prev[1])
+			}
+			last[stage] = [2]int{done, total}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []Stage{StageQTI, StageWarmup, StageGenerate, StageMaterialize} {
+		final, ok := last[stage]
+		if !ok {
+			t.Fatalf("stage %s never reported", stage)
+		}
+		if final[0] != final[1] {
+			t.Fatalf("stage %s ended at %d/%d", stage, final[0], final[1])
+		}
+	}
+}
+
+// TestStageString pins the stage names used in logs.
+func TestStageString(t *testing.T) {
+	if StageQTI.String() != "qti" || StageWarmup.String() != "warmup" ||
+		StageGenerate.String() != "generate" || StageMaterialize.String() != "materialize" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(99).String() == "" {
+		t.Fatal("unknown stage should still print")
+	}
+}

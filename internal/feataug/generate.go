@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -58,8 +59,19 @@ type GeneratedQuery struct {
 // GenerateQueries is the SQL Query Generation component (Section V): given a
 // template it searches the query pool with TPE — warm-started on the proxy
 // task unless disabled — and returns up to k distinct queries with the lowest
-// real validation losses.
-func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, error) {
+// real validation losses. Cancelling the context stops the search between
+// evaluations and returns ctx.Err().
+func (e *Engine) GenerateQueries(ctx context.Context, tpl query.Template, k int) ([]GeneratedQuery, error) {
+	return e.generateQueries(ctx, tpl, k, 0, 1)
+}
+
+// generateQueries is GenerateQueries with the template's position in the
+// overall run threaded through, so StageWarmup progress counts done/total
+// templates instead of restarting at 0/1 for every template.
+func (e *Engine) generateQueries(ctx context.Context, tpl query.Template, k, tplIdx, tplTotal int) ([]GeneratedQuery, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	space, err := e.spaces.Space(tpl)
 	if err != nil {
 		return nil, err
@@ -96,7 +108,9 @@ func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, e
 		if err := gen.Prime(seedObs); err != nil {
 			return nil, err
 		}
-		hpo.Run(gen, e.cfg.NoWarmupIters, realLoss)
+		if _, _, err := hpo.RunContext(ctx, gen, e.cfg.NoWarmupIters, realLoss); err != nil {
+			return nil, err
+		}
 	} else {
 		// Warm-Up Phase: TPE on the low-cost proxy task.
 		proxyLoss := func(x []int) float64 {
@@ -110,8 +124,11 @@ func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, e
 			}
 			return -score // proxies are higher-is-better
 		}
+		e.cfg.progress(StageWarmup, tplIdx, tplTotal)
 		warm := hpo.NewTPE(cards, e.rng, e.cfg.TPE)
-		hpo.Run(warm, e.cfg.WarmupIters, proxyLoss)
+		if _, _, err := hpo.RunContext(ctx, warm, e.cfg.WarmupIters, proxyLoss); err != nil {
+			return nil, err
+		}
 
 		// Evaluate the top-k proxy queries for real and prime the second
 		// round's surrogate with them (Figure 3). Their features are already
@@ -120,8 +137,12 @@ func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, e
 		top := hpo.TopK(warm, e.cfg.WarmupTopK)
 		prime := make([]hpo.Observation, 0, len(top))
 		for _, o := range top {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			prime = append(prime, hpo.Observation{X: o.X, Loss: realLoss(o.X)})
 		}
+		e.cfg.progress(StageWarmup, tplIdx+1, tplTotal)
 		opts := e.cfg.TPE
 		opts.NumStartup = 1 // surrogate is already informed
 		gen = hpo.NewTPE(cards, e.rng, opts)
@@ -129,7 +150,9 @@ func (e *Engine) GenerateQueries(tpl query.Template, k int) ([]GeneratedQuery, e
 			return nil, err
 		}
 		// Query-Generation Phase: TPE on the real objective.
-		hpo.Run(gen, e.cfg.GenIters, realLoss)
+		if _, _, err := hpo.RunContext(ctx, gen, e.cfg.GenIters, realLoss); err != nil {
+			return nil, err
+		}
 	}
 
 	return bestDistinctQueries(space, gen.History(), k)
@@ -178,7 +201,7 @@ func bestDistinctQueries(space *query.Space, history []hpo.Observation, k int) (
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("feataug: query generation produced no valid queries")
+		return nil, fmt.Errorf("%w (empty search history)", ErrNoQueries)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/hpo"
@@ -14,7 +15,10 @@ import (
 // evaluated with the real downstream model. It is cheaper than warm-started
 // TPE when real evaluations dominate, at the cost of no sequential
 // modelling; the ablation bench compares the two.
-func (e *Engine) GenerateQueriesHalving(tpl query.Template, k, numConfigs int) ([]GeneratedQuery, error) {
+func (e *Engine) GenerateQueriesHalving(ctx context.Context, tpl query.Template, k, numConfigs int) ([]GeneratedQuery, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	space, err := e.spaces.Space(tpl)
 	if err != nil {
 		return nil, err
@@ -54,14 +58,19 @@ func (e *Engine) GenerateQueriesHalving(tpl query.Template, k, numConfigs int) (
 			}
 		}
 		// Best-effort: a failing feature resurfaces as a sentinel loss below.
-		_, _, _ = e.eval.FeatureBatch(prewarm)
+		_, _, _ = e.eval.FeatureBatchContext(ctx, prewarm)
 		out := make([]float64, len(xs))
 		for i, x := range xs {
+			if ctx.Err() != nil {
+				// The rung-level check in SuccessiveHalvingBatch surfaces the
+				// cancellation before these partial losses matter.
+				return out
+			}
 			out[i] = eval(x, fidelity)
 		}
 		return out
 	}
-	if _, err := hpo.SuccessiveHalvingBatch(space.Cardinalities(), e.rng, numConfigs, 3, evalBatch); err != nil {
+	if _, err := hpo.SuccessiveHalvingBatch(ctx, space.Cardinalities(), e.rng, numConfigs, 3, evalBatch); err != nil {
 		return nil, err
 	}
 	sort.SliceStable(history, func(a, b int) bool { return history[a].Loss < history[b].Loss })

@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataframe"
@@ -43,14 +44,17 @@ type MultiResult struct {
 // budgets apply per relevant table, matching the paper's decomposition of
 // the multi-table scenario. The returned table has feature columns named
 // <name>_feataug_<i>.
-func AugmentMulti(base pipeline.Problem, model ml.Kind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
+func AugmentMulti(ctx context.Context, base pipeline.Problem, model ml.Kind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("feataug: no relevant tables")
 	}
 	out := &MultiResult{Augmented: base.Train.Clone()}
 	for idx, in := range inputs {
 		if in.Table == nil {
-			return nil, fmt.Errorf("feataug: relevant table %d is nil", idx)
+			return nil, fmt.Errorf("%w: relevant table %d", ErrNilTable, idx)
 		}
 		p := base
 		p.Relevant = in.Table
@@ -65,13 +69,13 @@ func AugmentMulti(base pipeline.Problem, model ml.Kind, cfg Config, inputs []Rel
 			return nil, fmt.Errorf("feataug: relevant table %q: %w", in.Name, err)
 		}
 		engine := NewEngine(ev, nil, cfg)
-		res, err := engine.Run()
+		res, err := engine.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("feataug: relevant table %q: %w", in.Name, err)
 		}
 		out.PerTable = append(out.PerTable, res)
 		out.Names = append(out.Names, in.Name)
-		vals, valid, err := ev.FeatureBatch(res.QueryList())
+		vals, valid, err := ev.FeatureBatchContext(ctx, res.QueryList())
 		if err != nil {
 			return nil, err
 		}
@@ -86,22 +90,20 @@ func AugmentMulti(base pipeline.Problem, model ml.Kind, cfg Config, inputs []Rel
 	return out, nil
 }
 
+// NamedQuery pairs a generated query with the name of the relevant table (or
+// other source) it was generated from.
+type NamedQuery struct {
+	Source string      `json:"source"`
+	Query  query.Query `json:"query"`
+}
+
 // Queries returns every generated query across relevant tables, table-major,
 // with the owning table name.
-func (m *MultiResult) Queries() []struct {
-	Table string
-	Query query.Query
-} {
-	var out []struct {
-		Table string
-		Query query.Query
-	}
+func (m *MultiResult) Queries() []NamedQuery {
+	var out []NamedQuery
 	for i, res := range m.PerTable {
 		for _, gq := range res.Queries {
-			out = append(out, struct {
-				Table string
-				Query query.Query
-			}{Table: m.Names[i], Query: gq.Query})
+			out = append(out, NamedQuery{Source: m.Names[i], Query: gq.Query})
 		}
 	}
 	return out

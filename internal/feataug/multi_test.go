@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestAugmentMultiTwoRelevantTables(t *testing.T) {
 		Seed: 41, WarmupIters: 8, WarmupTopK: 3, GenIters: 3,
 		NumTemplates: 1, QueriesPerTemplate: 2, MaxDepth: 1, TemplateProxyIters: 4,
 	}
-	res, err := AugmentMulti(base, ml.KindLR, cfg, []RelevantInput{
+	res, err := AugmentMulti(context.Background(), base, ml.KindLR, cfg, []RelevantInput{
 		{Name: "buys", Table: buys, Keys: d.Keys, AggAttrs: []string{"price", "timestamp"}, PredAttrs: []string{"timestamp"}},
 		{Name: "browse", Table: other, Keys: d.Keys, AggAttrs: []string{"price"}},
 	})
@@ -65,6 +66,14 @@ func TestAugmentMultiTwoRelevantTables(t *testing.T) {
 	if len(qs) != len(res.FeatureNames) {
 		t.Fatalf("Queries() = %d, want %d", len(qs), len(res.FeatureNames))
 	}
+	for _, nq := range qs {
+		if nq.Source != "buys" && nq.Source != "browse" {
+			t.Fatalf("NamedQuery source %q not a relevant table name", nq.Source)
+		}
+		if nq.Query.AggAttr == "" {
+			t.Fatal("NamedQuery carries an empty query")
+		}
+	}
 }
 
 func TestAugmentMultiValidation(t *testing.T) {
@@ -73,14 +82,14 @@ func TestAugmentMultiValidation(t *testing.T) {
 		Train: d.Train, Label: d.Label, Task: d.Task,
 		BaseFeatures: d.BaseFeatures, Relevant: d.Relevant, Keys: d.Keys,
 	}
-	if _, err := AugmentMulti(base, ml.KindLR, Config{Seed: 1}, nil); err == nil {
+	if _, err := AugmentMulti(context.Background(), base, ml.KindLR, Config{Seed: 1}, nil); err == nil {
 		t.Error("no inputs should fail")
 	}
-	if _, err := AugmentMulti(base, ml.KindLR, Config{Seed: 1}, []RelevantInput{{Name: "x"}}); err == nil {
+	if _, err := AugmentMulti(context.Background(), base, ml.KindLR, Config{Seed: 1}, []RelevantInput{{Name: "x"}}); err == nil {
 		t.Error("nil table should fail")
 	}
 	bad := []RelevantInput{{Name: "x", Table: d.Relevant, Keys: []string{"ghost"}, AggAttrs: []string{"level"}}}
-	if _, err := AugmentMulti(base, ml.KindLR, Config{Seed: 1}, bad); err == nil {
+	if _, err := AugmentMulti(context.Background(), base, ml.KindLR, Config{Seed: 1}, bad); err == nil {
 		t.Error("bad key should fail")
 	}
 }
@@ -88,7 +97,7 @@ func TestAugmentMultiValidation(t *testing.T) {
 func TestGenerateQueriesHalving(t *testing.T) {
 	e := smallEngine(t, Config{})
 	tpl := e.Template([]string{"action", "timestamp"})
-	qs, err := e.GenerateQueriesHalving(tpl, 2, 12)
+	qs, err := e.GenerateQueriesHalving(context.Background(), tpl, 2, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +110,7 @@ func TestGenerateQueriesHalving(t *testing.T) {
 		}
 	}
 	// Default numConfigs path.
-	qs, err = e.GenerateQueriesHalving(tpl, 2, 0)
+	qs, err = e.GenerateQueriesHalving(context.Background(), tpl, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +118,7 @@ func TestGenerateQueriesHalving(t *testing.T) {
 		t.Fatal("default numConfigs produced nothing")
 	}
 	// Bad template propagates.
-	if _, err := e.GenerateQueriesHalving(e.Template([]string{"ghost"}), 2, 8); err == nil {
+	if _, err := e.GenerateQueriesHalving(context.Background(), e.Template([]string{"ghost"}), 2, 8); err == nil {
 		t.Fatal("bad template should fail")
 	}
 }
@@ -149,7 +158,7 @@ func TestAugmentMultiWithRelschemaFlatten(t *testing.T) {
 	}
 	cfg := Config{Seed: 2, WarmupIters: 6, WarmupTopK: 2, GenIters: 2,
 		NumTemplates: 1, QueriesPerTemplate: 1, MaxDepth: 1, TemplateProxyIters: 3}
-	res, err := AugmentMulti(base, ml.KindLR, cfg, []RelevantInput{
+	res, err := AugmentMulti(context.Background(), base, ml.KindLR, cfg, []RelevantInput{
 		{Name: "orders", Table: orders, Keys: []string{"user_id"}, AggAttrs: []string{"amount"}},
 	})
 	if err != nil {

@@ -1,0 +1,195 @@
+package feataug
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/query"
+)
+
+// fixturePlan is a small hand-built plan exercising every serialised shape:
+// equality and range predicates (one- and two-sided), boolean operands,
+// multiple keys, and a predicate-free query.
+func fixturePlan() *FeaturePlan {
+	return &FeaturePlan{
+		Version: PlanVersion,
+		Keys:    []string{"cname"},
+		Label:   "label",
+		Templates: []TemplateScore{
+			{PredAttrs: []string{"department", "timestamp"}, Score: 0.4375},
+			{PredAttrs: []string{"department"}, Score: 0.25},
+		},
+		Queries: []PlannedQuery{
+			{
+				Feature: "feataug_0",
+				Loss:    0.125,
+				Query: query.Query{
+					Agg: agg.Avg, AggAttr: "pprice", Keys: []string{"cname"},
+					Preds: []query.Predicate{
+						{Attr: "department", Kind: query.PredEq, StrValue: "Electronics"},
+						{Attr: "timestamp", Kind: query.PredRange, HasLo: true, Lo: 8000},
+					},
+				},
+			},
+			{
+				Feature: "feataug_1",
+				Loss:    0.25,
+				Query: query.Query{
+					Agg: agg.CountDistinct, AggAttr: "pprice", Keys: []string{"cname", "region"},
+					Preds: []query.Predicate{
+						{Attr: "price", Kind: query.PredRange, HasLo: true, HasHi: true, Lo: -1.5, Hi: 99.25},
+						{Attr: "member", Kind: query.PredEq, BoolValue: true},
+					},
+				},
+			},
+			{
+				Feature: "feataug_2",
+				Loss:    0.5,
+				Query:   query.Query{Agg: agg.Count, AggAttr: "pprice", Keys: []string{"cname"}},
+			},
+		},
+	}
+}
+
+// TestPlanJSONRoundTrip checks Encode → DecodePlan is the identity.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plan := fixturePlan()
+	data, err := plan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", plan, got)
+	}
+	// A second encode must be byte-identical (serialisation is
+	// deterministic).
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+// TestPlanGoldenFile pins the serialised form against a checked-in fixture,
+// so any change to the JSON layout is caught by review. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/feataug -run TestPlanGoldenFile.
+func TestPlanGoldenFile(t *testing.T) {
+	golden := filepath.Join("testdata", "plan_golden.json")
+	data, err := fixturePlan().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("serialised plan diverged from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, data, want)
+	}
+	// The checked-in fixture must also decode back to the fixture plan.
+	got, err := DecodePlan(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fixturePlan(), got) {
+		t.Fatal("golden file does not decode back to the fixture plan")
+	}
+}
+
+func TestDecodePlanRejectsBadInput(t *testing.T) {
+	if _, err := DecodePlan([]byte("{not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+
+	wrong := fixturePlan()
+	wrong.Version = PlanVersion + 1
+	data, err := json.Marshal(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlan(data); !errors.Is(err, ErrPlanVersion) {
+		t.Fatalf("version mismatch error = %v, want ErrPlanVersion", err)
+	}
+
+	empty := &FeaturePlan{Version: PlanVersion, Keys: []string{"k"}}
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlan(data); !errors.Is(err, ErrEmptyPlan) {
+		t.Fatalf("empty plan error = %v, want ErrEmptyPlan", err)
+	}
+
+	// Unknown agg function and predicate kind names must be rejected, not
+	// silently zeroed.
+	bad := []byte(`{"version":1,"keys":["k"],"queries":[{"feature":"f","loss":0,
+		"query":{"agg":"NOPE","agg_attr":"a","keys":["k"]}}]}`)
+	if _, err := DecodePlan(bad); err == nil {
+		t.Fatal("unknown agg name should fail")
+	}
+	bad = []byte(`{"version":1,"keys":["k"],"queries":[{"feature":"f","loss":0,
+		"query":{"agg":"SUM","agg_attr":"a","keys":["k"],
+		"preds":[{"attr":"p","kind":"nope"}]}}]}`)
+	if _, err := DecodePlan(bad); err == nil {
+		t.Fatal("unknown predicate kind should fail")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	plan := fixturePlan()
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	noKeys := fixturePlan()
+	noKeys.Queries[0].Query.Keys = nil
+	if noKeys.Validate() == nil {
+		t.Fatal("query without keys should fail")
+	}
+	noFeature := fixturePlan()
+	noFeature.Queries[1].Feature = ""
+	if noFeature.Validate() == nil {
+		t.Fatal("query without feature name should fail")
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	plan := fixturePlan()
+	if got := plan.FeatureNames(); !reflect.DeepEqual(got, []string{"feataug_0", "feataug_1", "feataug_2"}) {
+		t.Fatalf("feature names = %v", got)
+	}
+	qs := plan.QueryList()
+	if len(qs) != 3 || qs[0].Agg != agg.Avg {
+		t.Fatalf("query list = %+v", qs)
+	}
+}
+
+// TestDecodePlanFutureVersion asserts a future-version plan carrying names
+// this build cannot parse still fails with ErrPlanVersion, not a decode
+// error — the version gate runs before the body decodes.
+func TestDecodePlanFutureVersion(t *testing.T) {
+	future := []byte(`{"version":2,"keys":["k"],"queries":[{"feature":"f","loss":0,
+		"query":{"agg":"SOME_FUTURE_AGG","agg_attr":"a","keys":["k"],
+		"preds":[{"attr":"p","kind":"some_future_kind"}]}}]}`)
+	if _, err := DecodePlan(future); !errors.Is(err, ErrPlanVersion) {
+		t.Fatalf("err = %v, want ErrPlanVersion", err)
+	}
+}

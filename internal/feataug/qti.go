@@ -1,6 +1,7 @@
 package feataug
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,8 +13,8 @@ import (
 // estimated effectiveness (higher is better — the negated best loss / best
 // proxy value of its query pool).
 type TemplateScore struct {
-	PredAttrs []string
-	Score     float64
+	PredAttrs []string `json:"pred_attrs"`
+	Score     float64  `json:"score"`
 }
 
 // IdentifyTemplates is the Query Template Identification component (Section
@@ -22,9 +23,12 @@ type TemplateScore struct {
 // (the ridge performance predictor pruning each layer to the top-β nodes
 // before proxy evaluation). It returns the n most promising attribute
 // combinations across all evaluated nodes, best first.
-func (e *Engine) IdentifyTemplates(attrs []string, n int) ([]TemplateScore, error) {
+func (e *Engine) IdentifyTemplates(ctx context.Context, attrs []string, n int) ([]TemplateScore, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(attrs) == 0 {
-		return nil, fmt.Errorf("feataug: no candidate attributes for QTI")
+		return nil, fmt.Errorf("%w: no candidate attributes for QTI", ErrNoTemplates)
 	}
 	maxDepth := e.cfg.MaxDepth
 	if maxDepth > len(attrs) {
@@ -36,11 +40,14 @@ func (e *Engine) IdentifyTemplates(attrs []string, n int) ([]TemplateScore, erro
 	var predictorY []float64
 
 	evalNode := func(combo []string) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		key := query.CanonicalAttrKey(combo)
 		if ts, ok := evaluated[key]; ok {
 			return ts.Score, nil
 		}
-		score, err := e.templateEffectiveness(combo)
+		score, err := e.templateEffectiveness(ctx, combo)
 		if err != nil {
 			return 0, err
 		}
@@ -148,7 +155,7 @@ func (e *Engine) IdentifyTemplates(attrs []string, n int) ([]TemplateScore, erro
 // templateEffectiveness estimates how good a template's best query is
 // (Definition 5). With Optimisation 1 it runs a short TPE round on the proxy
 // objective; without it, on the real model objective.
-func (e *Engine) templateEffectiveness(predAttrs []string) (float64, error) {
+func (e *Engine) templateEffectiveness(ctx context.Context, predAttrs []string) (float64, error) {
 	tpl := e.Template(predAttrs)
 	// The shared space cache matters most here: beam search revisits every
 	// attribute in many combinations, and each would otherwise rescan the
@@ -181,9 +188,12 @@ func (e *Engine) templateEffectiveness(predAttrs []string) (float64, error) {
 		opts.NumStartup = 3
 	}
 	tpe := hpo.NewTPE(space.Cardinalities(), e.rng, opts)
-	best, ok := hpo.Run(tpe, e.cfg.TemplateProxyIters, objective)
+	best, ok, err := hpo.RunContext(ctx, tpe, e.cfg.TemplateProxyIters, objective)
+	if err != nil {
+		return 0, err
+	}
 	if !ok {
-		return 0, fmt.Errorf("feataug: empty template search")
+		return 0, fmt.Errorf("%w: empty template search", ErrNoTemplates)
 	}
 	return -best.Loss, nil
 }

@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -16,10 +17,22 @@ import (
 // natural fidelity axis is the evaluation cost of a query: low rungs use the
 // low-cost proxy, the final rung the real model loss — the same cheap-to-
 // expensive laddering as the paper's warm-up, but within one bracket.
-func SuccessiveHalving(cards []int, rng *rand.Rand, n, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
-	return SuccessiveHalvingBatch(cards, rng, n, eta, func(xs [][]int, fidelity float64) []float64 {
+//
+// Cancellation is checked between configurations and between rungs; a
+// cancelled bracket returns ctx.Err().
+func SuccessiveHalving(ctx context.Context, cards []int, rng *rand.Rand, n, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return SuccessiveHalvingBatch(ctx, cards, rng, n, eta, func(xs [][]int, fidelity float64) []float64 {
 		out := make([]float64, len(xs))
 		for i, x := range xs {
+			if ctx.Err() != nil {
+				// Leave the remaining losses at zero; the rung-level check in
+				// SuccessiveHalvingBatch surfaces the cancellation before the
+				// partial losses can influence a survivor selection.
+				return out
+			}
 			out[i] = eval(x, fidelity)
 		}
 		return out
@@ -32,7 +45,10 @@ func SuccessiveHalving(cards []int, rng *rand.Rand, n, eta int, eval func(x []in
 // prewarm shared state — e.g. materialise all candidate features on a
 // parallel query executor — before scoring; configurations are drawn and
 // ranked exactly as in SuccessiveHalving, so results are unchanged.
-func SuccessiveHalvingBatch(cards []int, rng *rand.Rand, n, eta int, evalBatch func(xs [][]int, fidelity float64) []float64) (Observation, error) {
+func SuccessiveHalvingBatch(ctx context.Context, cards []int, rng *rand.Rand, n, eta int, evalBatch func(xs [][]int, fidelity float64) []float64) (Observation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n < 1 {
 		return Observation{}, fmt.Errorf("hpo: need at least one configuration")
 	}
@@ -57,12 +73,20 @@ func SuccessiveHalvingBatch(cards []int, rng *rand.Rand, n, eta int, evalBatch f
 		rungs++
 	}
 	for r := 0; r < rungs && len(pop) > 0; r++ {
+		if err := ctx.Err(); err != nil {
+			return Observation{}, err
+		}
 		fidelity := float64(r+1) / float64(rungs)
 		xs := make([][]int, len(pop))
 		for i := range pop {
 			xs[i] = pop[i].x
 		}
 		losses := evalBatch(xs, fidelity)
+		if err := ctx.Err(); err != nil {
+			// The rung may have been cut short; its partial losses must not
+			// pick survivors.
+			return Observation{}, err
+		}
 		for i := range pop {
 			pop[i].loss = losses[i]
 		}
@@ -81,7 +105,7 @@ func SuccessiveHalvingBatch(cards []int, rng *rand.Rand, n, eta int, evalBatch f
 
 // Hyperband runs multiple successive-halving brackets with different
 // aggressiveness, returning the best observation across brackets.
-func Hyperband(cards []int, rng *rand.Rand, maxN, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
+func Hyperband(ctx context.Context, cards []int, rng *rand.Rand, maxN, eta int, eval func(x []int, fidelity float64) float64) (Observation, error) {
 	if maxN < 1 {
 		return Observation{}, fmt.Errorf("hpo: maxN must be positive")
 	}
@@ -91,7 +115,7 @@ func Hyperband(cards []int, rng *rand.Rand, maxN, eta int, eval func(x []int, fi
 	best := Observation{Loss: 1e308}
 	found := false
 	for n := maxN; n >= 1; n = n / eta {
-		obs, err := SuccessiveHalving(cards, rng, n, eta, eval)
+		obs, err := SuccessiveHalving(ctx, cards, rng, n, eta, eval)
 		if err != nil {
 			return Observation{}, err
 		}

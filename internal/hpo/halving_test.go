@@ -1,6 +1,8 @@
 package hpo
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -15,7 +17,7 @@ func TestSuccessiveHalvingFindsGoodPoint(t *testing.T) {
 		noise := (1 - fidelity) * 20
 		return loss + noise*0.5
 	}
-	best, err := SuccessiveHalving(cards, rand.New(rand.NewSource(1)), 64, 3, eval)
+	best, err := SuccessiveHalving(context.Background(), cards, rand.New(rand.NewSource(1)), 64, 3, eval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,14 +28,14 @@ func TestSuccessiveHalvingFindsGoodPoint(t *testing.T) {
 }
 
 func TestSuccessiveHalvingValidation(t *testing.T) {
-	if _, err := SuccessiveHalving([]int{2}, rand.New(rand.NewSource(1)), 0, 3, nil); err == nil {
+	if _, err := SuccessiveHalving(context.Background(), []int{2}, rand.New(rand.NewSource(1)), 0, 3, nil); err == nil {
 		t.Fatal("n=0 should fail")
 	}
 }
 
 func TestSuccessiveHalvingSingleCandidate(t *testing.T) {
 	evals := 0
-	best, err := SuccessiveHalving([]int{3}, rand.New(rand.NewSource(1)), 1, 3,
+	best, err := SuccessiveHalving(context.Background(), []int{3}, rand.New(rand.NewSource(1)), 1, 3,
 		func(x []int, f float64) float64 { evals++; return 1 })
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +47,7 @@ func TestSuccessiveHalvingSingleCandidate(t *testing.T) {
 
 func TestSuccessiveHalvingFidelityIncreases(t *testing.T) {
 	var fidelities []float64
-	_, err := SuccessiveHalving([]int{4}, rand.New(rand.NewSource(2)), 9, 3,
+	_, err := SuccessiveHalving(context.Background(), []int{4}, rand.New(rand.NewSource(2)), 9, 3,
 		func(x []int, f float64) float64 {
 			fidelities = append(fidelities, f)
 			return float64(x[0])
@@ -65,7 +67,7 @@ func TestSuccessiveHalvingFidelityIncreases(t *testing.T) {
 }
 
 func TestSuccessiveHalvingDefaultEta(t *testing.T) {
-	if _, err := SuccessiveHalving([]int{2}, rand.New(rand.NewSource(1)), 4, 0,
+	if _, err := SuccessiveHalving(context.Background(), []int{2}, rand.New(rand.NewSource(1)), 4, 0,
 		func(x []int, f float64) float64 { return 0 }); err != nil {
 		t.Fatal(err)
 	}
@@ -77,14 +79,14 @@ func TestHyperband(t *testing.T) {
 		d := float64(x[0]) - 7
 		return d * d
 	}
-	best, err := Hyperband(cards, rand.New(rand.NewSource(3)), 27, 3, eval)
+	best, err := Hyperband(context.Background(), cards, rand.New(rand.NewSource(3)), 27, 3, eval)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if best.Loss > 4 {
 		t.Fatalf("hyperband best loss = %v", best.Loss)
 	}
-	if _, err := Hyperband(cards, rand.New(rand.NewSource(3)), 0, 3, eval); err == nil {
+	if _, err := Hyperband(context.Background(), cards, rand.New(rand.NewSource(3)), 0, 3, eval); err == nil {
 		t.Fatal("maxN=0 should fail")
 	}
 }
@@ -102,15 +104,46 @@ func TestHyperbandBeatsSingleBracketOnNoisyLowFidelity(t *testing.T) {
 		}
 		return true_
 	}
-	hb, err := Hyperband(cards, rand.New(rand.NewSource(4)), 27, 3, mislead)
+	hb, err := Hyperband(context.Background(), cards, rand.New(rand.NewSource(4)), 27, 3, mislead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := SuccessiveHalving(cards, rand.New(rand.NewSource(4)), 27, 3, mislead)
+	sh, err := SuccessiveHalving(context.Background(), cards, rand.New(rand.NewSource(4)), 27, 3, mislead)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hb.Loss > sh.Loss {
 		t.Fatalf("hyperband %v should be <= single bracket %v", hb.Loss, sh.Loss)
+	}
+}
+
+func TestSuccessiveHalvingCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SuccessiveHalving(ctx, []int{4}, rand.New(rand.NewSource(1)), 16, 3,
+		func(x []int, f float64) float64 { return 0 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSuccessiveHalvingCancelMidBracket(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	_, err := SuccessiveHalving(ctx, []int{4}, rand.New(rand.NewSource(1)), 27, 3,
+		func(x []int, f float64) float64 {
+			evals++
+			if evals == 5 {
+				cancel()
+			}
+			return float64(x[0])
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The first rung has 27 configurations; cancelling at the 5th evaluation
+	// must stop the bracket well before a full run's worth of evaluations.
+	if evals > 27 {
+		t.Fatalf("ran %d evaluations after cancellation", evals)
 	}
 }

@@ -10,6 +10,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -287,9 +288,23 @@ func TopK(o Optimizer, k int) []Observation {
 // returning the best observation. Duplicate suggestions are still evaluated
 // (the objective may be noisy, matching HPO practice).
 func Run(o Optimizer, n int, eval func(x []int) float64) (Observation, bool) {
+	obs, ok, _ := RunContext(context.Background(), o, n, eval)
+	return obs, ok
+}
+
+// RunContext is Run under a context: the loop checks for cancellation before
+// every suggestion and returns ctx.Err() as soon as it observes one, so a
+// long search stops after at most one in-flight evaluation. The best
+// observation gathered so far is still returned alongside the error.
+func RunContext(ctx context.Context, o Optimizer, n int, eval func(x []int) float64) (Observation, bool, error) {
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			best, ok := Best(o)
+			return best, ok, err
+		}
 		x := o.Suggest()
 		o.Observe(Observation{X: x, Loss: eval(x)})
 	}
-	return Best(o)
+	best, ok := Best(o)
+	return best, ok, nil
 }

@@ -1,6 +1,8 @@
 package hpo
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -246,5 +248,28 @@ func TestPropertyBestIsMinimum(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tpe := NewTPE([]int{5}, rand.New(rand.NewSource(1)), TPEOptions{})
+	evals := 0
+	_, _, err := RunContext(ctx, tpe, 100, func(x []int) float64 {
+		evals++
+		if evals == 3 {
+			cancel()
+		}
+		return float64(x[0])
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evals != 3 {
+		t.Fatalf("ran %d evaluations, want 3 (stop right after cancel)", evals)
+	}
+	// The observations gathered before cancellation are preserved.
+	if len(tpe.History()) != 3 {
+		t.Fatalf("history = %d, want 3", len(tpe.History()))
 	}
 }

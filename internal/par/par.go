@@ -5,6 +5,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +18,30 @@ import (
 // With parallelism 1 the calls run inline, in order, stopping at the first
 // error.
 func ForEach(parallel, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), parallel, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: jobs that have not started when the
+// context is cancelled are skipped, and the context error is reported (jobs
+// already running are allowed to finish — fn is responsible for observing the
+// context itself if individual jobs are long). A nil context means Background.
+func ForEachCtx(ctx context.Context, parallel, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		inner := fn
+		fn = func(i int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return inner(i)
+		}
+	}
+	return forEach(parallel, n, fn)
+}
+
+func forEach(parallel, n int, fn func(i int) error) error {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}

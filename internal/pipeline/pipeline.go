@@ -8,6 +8,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,10 @@ type Problem struct {
 	BaseFeatures []string
 }
 
-// Validate checks the problem is internally consistent.
+// Validate checks the problem is internally consistent: tables present, the
+// label on the training side only, keys on both sides, and every template
+// ingredient (aggregation and predicate attributes) present in the relevant
+// table.
 func (p *Problem) Validate() error {
 	if p.Train == nil || p.Relevant == nil {
 		return fmt.Errorf("pipeline: nil tables")
@@ -44,6 +48,21 @@ func (p *Problem) Validate() error {
 	for _, k := range p.Keys {
 		if !p.Train.HasColumn(k) || !p.Relevant.HasColumn(k) {
 			return fmt.Errorf("pipeline: key %q missing from a table", k)
+		}
+	}
+	for _, a := range p.AggAttrs {
+		if !p.Relevant.HasColumn(a) {
+			return fmt.Errorf("pipeline: aggregation attribute %q missing from relevant table", a)
+		}
+	}
+	for _, a := range p.PredAttrs {
+		if !p.Relevant.HasColumn(a) {
+			return fmt.Errorf("pipeline: predicate attribute %q missing from relevant table", a)
+		}
+	}
+	for _, f := range p.BaseFeatures {
+		if f == p.Label {
+			return fmt.Errorf("pipeline: label %q listed as a base feature (target leak)", p.Label)
 		}
 	}
 	return nil
@@ -164,6 +183,12 @@ func (e *Evaluator) Feature(q query.Query) ([]float64, []bool, error) {
 // search procedures use it to pay the per-query execute-and-join cost in
 // parallel wherever a whole slice of candidates is known up front.
 func (e *Evaluator) FeatureBatch(qs []query.Query) ([][]float64, [][]bool, error) {
+	return e.FeatureBatchContext(context.Background(), qs)
+}
+
+// FeatureBatchContext is FeatureBatch under a context: cancellation aborts
+// the executor batch promptly and surfaces ctx.Err().
+func (e *Evaluator) FeatureBatchContext(ctx context.Context, qs []query.Query) ([][]float64, [][]bool, error) {
 	keys := make([]string, len(qs))
 	var missKeys []string
 	var missQs []query.Query
@@ -179,7 +204,7 @@ func (e *Evaluator) FeatureBatch(qs []query.Query) ([][]float64, [][]bool, error
 		missQs = append(missQs, q)
 	}
 	if len(missQs) > 0 {
-		vals, valid, err := e.exec.AugmentValuesBatch(e.P.Train, missQs)
+		vals, valid, err := e.exec.AugmentValuesBatchContext(ctx, e.P.Train, missQs)
 		if err != nil {
 			return nil, nil, err
 		}

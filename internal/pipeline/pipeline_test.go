@@ -48,6 +48,21 @@ func TestProblemValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Error("nil table should fail")
 	}
+	bad = p
+	bad.AggAttrs = append([]string{"ghost_agg"}, p.AggAttrs...)
+	if bad.Validate() == nil {
+		t.Error("aggregation attribute missing from relevant table should fail")
+	}
+	bad = p
+	bad.PredAttrs = append([]string{"ghost_pred"}, p.PredAttrs...)
+	if bad.Validate() == nil {
+		t.Error("predicate attribute missing from relevant table should fail")
+	}
+	bad = p
+	bad.BaseFeatures = append([]string{bad.Label}, p.BaseFeatures...)
+	if bad.Validate() == nil {
+		t.Error("label listed as base feature should fail (target leak)")
+	}
 }
 
 func TestNewEvaluatorRejectsBadProblem(t *testing.T) {

@@ -14,10 +14,10 @@ import (
 //	WHERE pred_1 AND ... AND pred_w
 //	GROUP BY k
 type Query struct {
-	Agg     agg.Func
-	AggAttr string
-	Preds   []Predicate
-	Keys    []string
+	Agg     agg.Func    `json:"agg"`
+	AggAttr string      `json:"agg_attr"`
+	Preds   []Predicate `json:"preds,omitempty"`
+	Keys    []string    `json:"keys"`
 }
 
 // SQL renders the query as SQL text (for logs, docs and debugging).

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -369,6 +370,16 @@ type joinKey struct {
 	keys string
 }
 
+// maxJoinEntries bounds the train-side join cache. Entries are keyed by
+// table pointer, so a long-lived executor fed a stream of fresh batch tables
+// (the Transformer serving path) would otherwise retain one group index — and
+// the table itself — per batch forever. When the bound is hit the whole map
+// is dropped: join entries are pure caches, and a serving loop re-deriving
+// one index per batch was missing anyway, while the search-loop pattern (one
+// training table revisited thousands of times) stays comfortably under the
+// bound.
+const maxJoinEntries = 64
+
 func (e *Executor) joinIndex(d *dataframe.Table, keys []string) (*joinEntry, error) {
 	k := joinKey{d: d, keys: strings.Join(keys, "\x1f")}
 	e.mu.Lock()
@@ -377,6 +388,9 @@ func (e *Executor) joinIndex(d *dataframe.Table, keys []string) (*joinEntry, err
 	}
 	ent, ok := e.joins[k]
 	if !ok {
+		if len(e.joins) >= maxJoinEntries {
+			e.joins = make(map[joinKey]*joinEntry, maxJoinEntries)
+		}
 		ent = &joinEntry{}
 		e.joins[k] = ent
 	}
@@ -483,8 +497,15 @@ func (e *Executor) Augment(d *dataframe.Table, q Query, featureName string) (*da
 // shape every search procedure produces — pays the grouping and predicate
 // costs once instead of once per query.
 func (e *Executor) ExecuteBatch(qs []Query, featureName string) ([]*dataframe.Table, error) {
+	return e.ExecuteBatchContext(context.Background(), qs, featureName)
+}
+
+// ExecuteBatchContext is ExecuteBatch under a context: queries not yet started
+// when the context is cancelled are skipped and the context error is returned,
+// so a long batch aborts after at most the in-flight queries.
+func (e *Executor) ExecuteBatchContext(ctx context.Context, qs []Query, featureName string) ([]*dataframe.Table, error) {
 	results := make([]*dataframe.Table, len(qs))
-	err := e.runBatch(len(qs), func(i int) error {
+	err := e.runBatch(ctx, len(qs), func(i int) error {
 		res, err := e.Execute(qs[i], featureName)
 		if err != nil {
 			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
@@ -501,8 +522,14 @@ func (e *Executor) ExecuteBatch(qs []Query, featureName string) ([]*dataframe.Ta
 // AugmentBatch is ExecuteBatch followed by the left-join onto d, one result
 // table per query.
 func (e *Executor) AugmentBatch(d *dataframe.Table, qs []Query, featureName string) ([]*dataframe.Table, error) {
+	return e.AugmentBatchContext(context.Background(), d, qs, featureName)
+}
+
+// AugmentBatchContext is AugmentBatch under a context (see
+// ExecuteBatchContext for the cancellation contract).
+func (e *Executor) AugmentBatchContext(ctx context.Context, d *dataframe.Table, qs []Query, featureName string) ([]*dataframe.Table, error) {
 	results := make([]*dataframe.Table, len(qs))
-	err := e.runBatch(len(qs), func(i int) error {
+	err := e.runBatch(ctx, len(qs), func(i int) error {
 		res, err := e.Augment(d, qs[i], featureName)
 		if err != nil {
 			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
@@ -519,9 +546,15 @@ func (e *Executor) AugmentBatch(d *dataframe.Table, qs []Query, featureName stri
 // AugmentValuesBatch is AugmentValues over a slice of queries on the worker
 // pool: per-query feature slices aligned with d's rows, in input order.
 func (e *Executor) AugmentValuesBatch(d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
+	return e.AugmentValuesBatchContext(context.Background(), d, qs)
+}
+
+// AugmentValuesBatchContext is AugmentValuesBatch under a context (see
+// ExecuteBatchContext for the cancellation contract).
+func (e *Executor) AugmentValuesBatchContext(ctx context.Context, d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
 	vals := make([][]float64, len(qs))
 	valid := make([][]bool, len(qs))
-	err := e.runBatch(len(qs), func(i int) error {
+	err := e.runBatch(ctx, len(qs), func(i int) error {
 		v, ok, err := e.AugmentValues(d, qs[i])
 		if err != nil {
 			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
@@ -536,6 +569,6 @@ func (e *Executor) AugmentValuesBatch(d *dataframe.Table, qs []Query) ([][]float
 }
 
 // runBatch runs fn(0..n-1) on the executor's worker pool.
-func (e *Executor) runBatch(n int, fn func(i int) error) error {
-	return par.ForEach(e.Parallelism, n, fn)
+func (e *Executor) runBatch(ctx context.Context, n int, fn func(i int) error) error {
+	return par.ForEachCtx(ctx, e.Parallelism, n, fn)
 }

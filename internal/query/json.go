@@ -1,0 +1,33 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// predKindNames maps PredKind values onto the stable JSON spelling used by
+// serialised feature plans.
+var predKindNames = [...]string{"eq", "range"}
+
+// MarshalJSON encodes the kind as "eq" or "range".
+func (k PredKind) MarshalJSON() ([]byte, error) {
+	if k < 0 || int(k) >= len(predKindNames) {
+		return nil, fmt.Errorf("query: cannot marshal unknown predicate kind %d", int(k))
+	}
+	return json.Marshal(predKindNames[k])
+}
+
+// UnmarshalJSON decodes a kind from its JSON name.
+func (k *PredKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("query: predicate kind must be a JSON string: %w", err)
+	}
+	for i, n := range predKindNames {
+		if n == name {
+			*k = PredKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("query: unknown predicate kind %q", name)
+}

@@ -23,15 +23,19 @@ const (
 // StrValue/BoolValue is meaningful depending on the column kind. For
 // PredRange, HasLo/HasHi select between two-sided and one-sided ranges
 // (Definition 2 explicitly includes one-sided ranges); bounds are inclusive.
+//
+// The JSON form (used by serialised feature plans) spells the kind as
+// "eq"/"range" and omits zero-valued fields; every omitted field decodes back
+// to its zero value, so the round-trip is exact.
 type Predicate struct {
-	Attr      string
-	Kind      PredKind
-	StrValue  string
-	BoolValue bool
-	HasLo     bool
-	HasHi     bool
-	Lo        float64
-	Hi        float64
+	Attr      string   `json:"attr"`
+	Kind      PredKind `json:"kind"`
+	StrValue  string   `json:"str,omitempty"`
+	BoolValue bool     `json:"bool,omitempty"`
+	HasLo     bool     `json:"has_lo,omitempty"`
+	HasHi     bool     `json:"has_hi,omitempty"`
+	Lo        float64  `json:"lo,omitempty"`
+	Hi        float64  `json:"hi,omitempty"`
 }
 
 // String renders the predicate in SQL syntax.
