@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/query
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExecuteBatchFused-1   	      10	   2775414 ns/op	     72064 queries/s	 1158352 B/op	    5159 allocs/op
+BenchmarkExecuteBatchFusedSpeedup 	      10	   8582661 ns/op	         2.639 speedup_fused_vs_pr1	 6341406 B/op	   20877 allocs/op
+PASS
+ok  	repro/internal/query	0.251s
+pkg: repro
+BenchmarkExecutePerQuery-1     	       5	 226493careless ns/op
+BenchmarkExecuteBatch-1        	       5	  12345678 ns/op	      9720 queries/s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header mis-parsed: %+v", rep)
+	}
+	// The malformed line is skipped; three well-formed benchmarks survive,
+	// sorted by (package, name).
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %d: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Package != "repro" || rep.Benchmarks[0].Name != "BenchmarkExecuteBatch" {
+		t.Fatalf("sort order wrong: %+v", rep.Benchmarks[0])
+	}
+	fused := rep.Benchmarks[1]
+	if fused.Name != "BenchmarkExecuteBatchFused" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", fused.Name)
+	}
+	if fused.Iterations != 10 {
+		t.Fatalf("iterations = %d", fused.Iterations)
+	}
+	if fused.Metrics["ns/op"] != 2775414 || fused.Metrics["allocs/op"] != 5159 || fused.Metrics["queries/s"] != 72064 {
+		t.Fatalf("metrics mis-parsed: %+v", fused.Metrics)
+	}
+	speedup := rep.Benchmarks[2]
+	if speedup.Metrics["speedup_fused_vs_pr1"] != 2.639 {
+		t.Fatalf("custom metric mis-parsed: %+v", speedup.Metrics)
+	}
+}

@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		templates = fs.Int("templates", 0, "query templates n (0 = default; paper: 8)")
 		queries   = fs.Int("queries", 0, "queries per template (0 = default; paper: 5)")
 		jsonDir   = fs.String("json", "", "also archive each experiment's cells as JSON in this directory")
+		verbose   = fs.Bool("v", false, "fit/transform modes: log engine progress and executor cache stats to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fo := fitOpts{
 			rows: *rows, logs: *logs, seed: *seed, allFuncs: *allFuncs, models: *models,
 			warmup: *warmup, gen: *gen, templates: *templates, queries: *queries,
-			paper: *paper,
+			paper: *paper, verbose: *verbose,
 		}
 		switch {
 		case *fit != "" && *planIn != "":
@@ -99,7 +100,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			if *planOut == "" {
 				return fmt.Errorf("-fit requires -plan-out")
 			}
-			return runFit(ctx, *fit, *planOut, fo, out)
+			return runFit(ctx, *fit, *planOut, fo, out, stderr)
 		default:
 			if *transform == "" {
 				return fmt.Errorf("-plan-in requires -transform")
@@ -255,6 +256,7 @@ type fitOpts struct {
 	templates int
 	queries   int
 	paper     bool
+	verbose   bool
 }
 
 // dataset regenerates a built-in dataset with the mode's scale flags.
@@ -267,7 +269,7 @@ func (fo fitOpts) dataset(name string) (*datagen.Dataset, error) {
 }
 
 // runFit learns a FeaturePlan on one dataset and writes it as JSON.
-func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out io.Writer) error {
+func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out, stderr io.Writer) error {
 	d, err := fo.dataset(dataset)
 	if err != nil {
 		return err
@@ -302,6 +304,13 @@ func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out io.Wr
 		feataug.WithProgress(func(stage feataug.Stage, done, total int) {
 			fmt.Fprintf(out, "fit: %-11s %d/%d\n", stage, done, total)
 		}),
+	}
+	if fo.verbose {
+		// -v surfaces the engine's log lines — including the executor's
+		// cache/scan stats printed at the end of the run — on stderr.
+		opts = append(opts, feataug.WithLogf(func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}))
 	}
 	if !allFuncs {
 		opts = append(opts, feataug.WithAggFuncs(agg.Basic()...))
@@ -353,5 +362,8 @@ func runTransform(ctx context.Context, planPath, dataset string, fo fitOpts, out
 	// the human-readable summary goes to stderr.
 	fmt.Fprintf(stderr, "transform: %d rows x %d columns (+%d planned features)\n",
 		augmented.NumRows(), len(augmented.Columns()), len(plan.Queries))
+	if fo.verbose {
+		fmt.Fprintf(stderr, "transform: executor stats: %s\n", tr.Executor().Stats())
+	}
 	return augmented.WriteCSV(out)
 }

@@ -157,6 +157,32 @@ func TestFitTransformRoundTrip(t *testing.T) {
 	if !strings.Contains(errBuf.String(), "transform: 150 rows") {
 		t.Fatalf("summary missing from stderr: %s", errBuf.String())
 	}
+
+	// -v surfaces the executor's cache/scan stats on stderr in both modes.
+	buf.Reset()
+	errBuf.Reset()
+	err = run(context.Background(), []string{
+		"-plan-in", planPath, "-transform", "student", "-rows", "150", "-seed", "2", "-v",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "executor stats:") {
+		t.Fatalf("-v stats missing from stderr: %s", errBuf.String())
+	}
+	buf.Reset()
+	errBuf.Reset()
+	err = run(context.Background(), []string{
+		"-fit", "student", "-rows", "150", "-seed", "1", "-models", "LR",
+		"-warmup", "8", "-gen", "3", "-templates", "1", "-queries", "1",
+		"-plan-out", filepath.Join(dir, "plan_v.json"), "-v",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "executor stats:") {
+		t.Fatalf("-v fit stats missing from stderr: %s", errBuf.String())
+	}
 }
 
 // TestFitTransformFlagValidation covers the mode-flag error paths.

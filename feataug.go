@@ -6,10 +6,12 @@
 //   - a columnar dataframe engine (tables, group-by, joins, CSV I/O),
 //   - the 15 aggregation functions of the paper's query templates,
 //   - predicate-aware SQL query objects, templates and pools, plus a cached
-//     batch executor: one shared group index per key-set, one bitmap per
-//     predicate, and a worker pool that evaluates whole candidate batches
-//     concurrently (ExecuteBatch) — the engine, the baselines and the
-//     evaluator all execute queries through it,
+//     fused batch executor: one shared group index per key-set, one bitmap
+//     per predicate, one cached group-discovery per (keys, WHERE-mask) plan
+//     group, and batch entry points (ExecuteBatch) that run one set of
+//     streaming shared scans per plan group instead of one scan per query —
+//     the engine, the baselines and the evaluator all execute queries
+//     through it,
 //   - a TPE hyper-parameter optimiser with warm-starting,
 //   - LR / RF / XGBoost-style GBDT / DeepFM downstream models and metrics,
 //   - the FeatAug engine itself (SQL query generation + query template
@@ -81,10 +83,15 @@ type (
 	Predicate = query.Predicate
 	// Space is the discrete search space of a template's query pool.
 	Space = query.Space
-	// Executor is the cached, parallel batch query executor: group indexes
-	// and predicate bitmaps are computed once per relevant table and shared
-	// by every query executed through it.
+	// Executor is the cached, parallel batch query executor: group indexes,
+	// predicate bitmaps and plan-group discoveries are computed once per
+	// relevant table and shared by every query executed through it, and
+	// batch calls run fused — one set of shared scans per distinct
+	// (GROUP BY keys, WHERE mask) plan group instead of one scan per query.
 	Executor = query.Executor
+	// ExecutorStats is a snapshot of an Executor's cache and fused-scan
+	// counters (Executor.Stats), for perf observability.
+	ExecutorStats = query.ExecutorStats
 )
 
 // NewExecutor builds a batch executor over one relevant table. Evaluators

@@ -250,6 +250,28 @@ func (c *Column) AppendKey(b []byte, i int) []byte {
 	return b
 }
 
+// Bulk accessors expose the column's backing slices without copying, for hot
+// loops (the fused query executor's shared scans) that would otherwise pay a
+// kind switch and bounds checks per row through AsFloat/IsNull. The returned
+// slices are the live backing store: callers must treat them as read-only and
+// must check Kind first — a slice that does not back the column's kind is nil.
+
+// IntData returns the backing int64 slice of a KindInt or KindTime column.
+func (c *Column) IntData() []int64 { return c.ints }
+
+// FloatData returns the backing float64 slice of a KindFloat column.
+func (c *Column) FloatData() []float64 { return c.floats }
+
+// StrData returns the backing string slice of a KindString column.
+func (c *Column) StrData() []string { return c.strs }
+
+// BoolData returns the backing bool slice of a KindBool column.
+func (c *Column) BoolData() []bool { return c.bools }
+
+// ValidData returns the backing validity slice: valid[i] == false means NULL.
+// Present for every kind.
+func (c *Column) ValidData() []bool { return c.valid }
+
 // Take returns a new column containing the rows listed in idx, in order.
 func (c *Column) Take(idx []int) *Column {
 	out := &Column{name: c.name, kind: c.kind, valid: make([]bool, len(idx))}

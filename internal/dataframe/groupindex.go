@@ -28,6 +28,10 @@ func (t *Table) BuildGroupIndex(keyCols ...string) (*GroupIndex, error) {
 		keys:   cols,
 		rowGID: make([]int, t.nrows),
 	}
+	if len(cols) == 1 && (cols[0].Kind() == KindInt || cols[0].Kind() == KindTime) {
+		g.buildSingleInt(cols[0])
+		return g, nil
+	}
 	ids := make(map[string]int)
 	buf := make([]byte, 0, 48)
 	for i := 0; i < t.nrows; i++ {
@@ -47,6 +51,47 @@ func (t *Table) BuildGroupIndex(keyCols ...string) (*GroupIndex, error) {
 		g.sizes[gid]++
 	}
 	return g, nil
+}
+
+// buildSingleInt is the fast path for the most common key shape — one integer
+// (or timestamp) key column: rows hash through a map[int64]int instead of
+// composite string keys, skipping the per-row key formatting entirely. The
+// composite key string is still materialised once per group (not per row), so
+// Key(gid) stays byte-identical with the generic path.
+func (g *GroupIndex) buildSingleInt(c *Column) {
+	vals, valid := c.IntData(), c.ValidData()
+	ids := make(map[int64]int)
+	nullGID := -1
+	for i := range g.rowGID {
+		var gid int
+		if !valid[i] {
+			// NULL keys form their own single group, as in the generic path.
+			if nullGID < 0 {
+				nullGID = g.newGroup(i, c)
+			}
+			gid = nullGID
+		} else {
+			v := vals[i]
+			id, ok := ids[v]
+			if !ok {
+				id = g.newGroup(i, c)
+				ids[v] = id
+			}
+			gid = id
+		}
+		g.rowGID[i] = gid
+		g.sizes[gid]++
+	}
+}
+
+// newGroup registers row i as the representative of a fresh group and returns
+// its id.
+func (g *GroupIndex) newGroup(i int, c *Column) int {
+	gid := len(g.repr)
+	g.repr = append(g.repr, i)
+	g.sizes = append(g.sizes, 0)
+	g.keyStrs = append(g.keyStrs, string(c.AppendKey(nil, i)))
+	return gid
 }
 
 // NumGroups returns the number of distinct composite keys.

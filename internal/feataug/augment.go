@@ -102,8 +102,10 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		res.Timing.QTI.Round(time.Millisecond), res.Timing.Warmup.Round(time.Millisecond),
 		res.Timing.Generate.Round(time.Millisecond))
 
-	// Materialise every generated feature in one executor batch (searches
-	// usually leave these cached, but a cold run pays the cost in parallel).
+	// Materialise every generated feature in one executor batch: the fused
+	// shared-scan path groups them by plan group, so a cold run pays a few
+	// scans per distinct WHERE mask rather than one per feature (searches
+	// usually leave these cached anyway).
 	e.cfg.progress(StageMaterialize, 0, 1)
 	aug := e.eval.P.Train.Clone()
 	vals, valid, err := e.eval.FeatureBatchContext(ctx, res.QueryList())
@@ -119,6 +121,7 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	}
 	res.Augmented = aug
 	e.cfg.progress(StageMaterialize, 1, 1)
+	e.cfg.logf("feataug: executor stats: %s", e.eval.Executor().Stats())
 	return res, nil
 }
 

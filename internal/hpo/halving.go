@@ -42,9 +42,11 @@ func SuccessiveHalving(ctx context.Context, cards []int, rng *rand.Rand, n, eta 
 // SuccessiveHalvingBatch is SuccessiveHalving with rung-level batch
 // evaluation: evalBatch receives every surviving configuration of one rung at
 // once and returns their losses in order. Callers use the batch boundary to
-// prewarm shared state — e.g. materialise all candidate features on a
-// parallel query executor — before scoring; configurations are drawn and
-// ranked exactly as in SuccessiveHalving, so results are unchanged.
+// prewarm shared state — e.g. materialise all candidate features through the
+// query executor's fused shared-scan batch path, which collapses a rung of
+// near-identical queries to one set of scans per distinct WHERE mask — before
+// scoring; configurations are drawn and ranked exactly as in
+// SuccessiveHalving, so results are unchanged.
 func SuccessiveHalvingBatch(ctx context.Context, cards []int, rng *rand.Rand, n, eta int, evalBatch func(xs [][]int, fidelity float64) []float64) (Observation, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -117,8 +117,11 @@ func (k ProxyKind) String() string {
 // Evaluator evaluates feature sets against a downstream model. It caches
 // query executions and real-model evaluations by query identity, because the
 // search procedures revisit queries. All query execution runs through one
-// shared batch executor over the relevant table, so group indexes and
-// predicate bitmaps are computed once per problem rather than once per query.
+// shared batch executor over the relevant table, so group indexes, predicate
+// bitmaps and plan-group discoveries are computed once per problem rather
+// than once per query — and batched calls (FeatureBatch) additionally ride
+// the executor's fused shared-scan path, one set of scans per distinct
+// (keys, WHERE-mask) plan group instead of one per query.
 type Evaluator struct {
 	P         Problem
 	Model     ml.Kind
@@ -323,17 +326,18 @@ func (e *Evaluator) FeatureSetScores(tbl *dataframe.Table, features []string) (v
 }
 
 // QuerySetScores materialises all queries as feature columns on a copy of the
-// training table and evaluates the set.
+// training table — in one fused executor batch rather than query by query —
+// and evaluates the set.
 func (e *Evaluator) QuerySetScores(qs []query.Query) (validMetric, testMetric float64, err error) {
 	tbl := e.P.Train.Clone()
+	vals, valid, err := e.FeatureBatch(qs)
+	if err != nil {
+		return 0, 0, err
+	}
 	names := make([]string, 0, len(qs))
-	for i, q := range qs {
-		vals, valid, err := e.Feature(q)
-		if err != nil {
-			return 0, 0, err
-		}
+	for i := range qs {
 		name := fmt.Sprintf("feat_%d", i)
-		if err := tbl.AddColumn(dataframe.NewFloatColumn(name, vals, valid)); err != nil {
+		if err := tbl.AddColumn(dataframe.NewFloatColumn(name, vals[i], valid[i])); err != nil {
 			return 0, 0, err
 		}
 		names = append(names, name)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,8 +14,9 @@ import (
 	"repro/internal/par"
 )
 
-// Executor evaluates queries against one relevant table with two caches that
-// exploit how the TPE / successive-halving searches revisit the same pool:
+// Executor evaluates queries against one relevant table through a stack of
+// caches that exploit how the TPE / successive-halving searches revisit the
+// same pool:
 //
 //   - a dataframe.GroupIndex per key-set, so queries sharing GROUP BY keys
 //     (all queries of a template pool do, up to the key-subset dimension)
@@ -23,20 +25,82 @@ import (
 //     encoding. Predicates are drawn from the Space's small discrete pools
 //     and are heavily reused across queries, so a query's WHERE mask is the
 //     word-wise intersection of cached bitmaps instead of a full-table
-//     re-evaluation.
+//     re-evaluation;
+//   - a combined-mask entry per canonical WHERE clause, holding both the
+//     intersected bitmap and the materialised matching-row list, so a
+//     cached mask never re-walks its bitmap;
+//   - a plan-group entry per (key-set, WHERE-mask) pair caching the
+//     group-discovery result (local / repr / counts), so any later query —
+//     or whole batch — on the same plan group skips discovery entirely.
 //
-// All methods are safe for concurrent use; ExecuteBatch evaluates a slice of
-// candidate queries on a bounded worker pool.
+// On top of the caches, the batch entry points (ExecuteBatch, AugmentBatch,
+// AugmentValuesBatch) run fused: the batch is grouped by plan group and each
+// group's aggregates stream through shared scans instead of one two-pass scan
+// per query (see fused.go). All methods are safe for concurrent use; batches
+// evaluate on a bounded worker pool.
 type Executor struct {
 	r *dataframe.Table
-	// Parallelism bounds ExecuteBatch's worker pool; 0 means GOMAXPROCS.
+	// Parallelism bounds the batch worker pool; 0 means GOMAXPROCS.
 	Parallelism int
+	// DisableFusion forces the batch entry points through the per-query core
+	// instead of the fused shared-scan path. The differential tests and the
+	// fused-vs-legacy benchmarks flip it; production callers leave it false.
+	DisableFusion bool
 
-	mu     sync.Mutex
-	groups map[string]*groupEntry
-	masks  map[string]*maskEntry
-	joins  map[joinKey]*joinEntry
+	mu      sync.Mutex
+	groups  map[string]*groupEntry
+	preds   map[string]*predEntry
+	masks   map[string]*maskEntry
+	plans   map[planKey]*planEntry
+	joins   map[joinKey]*joinEntry
+	views   map[string][]float64 // per-column float views (int/time/bool)
+	allRows []int                // lazily built identity row list for predicate-free plans
+	stats   ExecutorStats
 }
+
+// ExecutorStats is a point-in-time snapshot of the executor's cache and scan
+// counters, for perf observability (cmd/feataug -v surfaces it). Hits count
+// lookups that found an existing entry; misses count entry creations;
+// Evictions counts whole-cache drops of the bounded caches.
+type ExecutorStats struct {
+	GroupHits, GroupMisses int64 // per-key-set group indexes
+	PredHits, PredMisses   int64 // per-predicate bitmaps
+	MaskHits, MaskMisses   int64 // combined WHERE masks (bitmap + row list)
+	PlanHits, PlanMisses   int64 // plan-group discovery results
+	JoinHits, JoinMisses   int64 // train-side join indexes
+	FusedScans             int64 // shared scans run by the fused batch path
+	FusedQueries           int64 // queries answered through a fused plan group
+	CoreQueries            int64 // queries answered by the per-query core
+	Evictions              int64 // whole-cache drops across bounded caches
+}
+
+// String renders the snapshot as one compact log line.
+func (s ExecutorStats) String() string {
+	return fmt.Sprintf(
+		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d (hit/miss), fused %d queries over %d scans, core %d queries, %d evictions",
+		s.GroupHits, s.GroupMisses, s.MaskHits, s.MaskMisses, s.PredHits, s.PredMisses,
+		s.PlanHits, s.PlanMisses, s.JoinHits, s.JoinMisses,
+		s.FusedQueries, s.FusedScans, s.CoreQueries, s.Evictions)
+}
+
+// Stats returns a snapshot of the executor's counters.
+func (e *Executor) Stats() ExecutorStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Cache bounds. Entries are pure caches, so when a bound is hit the whole map
+// is dropped (the pattern the join cache established): in-flight holders keep
+// their references, and the steady-state search workload — a few key-sets, a
+// few dozen masks — never comes near the bounds. The bounds exist for
+// long-lived serving executors fed unbounded query streams.
+const (
+	maxPredEntries = 2048
+	maxMaskEntries = 512
+	maxPlanEntries = 256
+	maxJoinEntries = 64
+)
 
 type groupEntry struct {
 	once sync.Once
@@ -44,10 +108,43 @@ type groupEntry struct {
 	err  error
 }
 
-type maskEntry struct {
+// predEntry caches the full-table row bitmap of one predicate.
+type predEntry struct {
 	once sync.Once
 	bits []uint64 // 1 bit per row, LSB-first within each word
 	err  error
+}
+
+// maskEntry caches one canonical WHERE clause: the intersected bitmap plus
+// the materialised matching-row indices in ascending order, so a cached mask
+// costs neither the intersection nor the bitmap walk again.
+type maskEntry struct {
+	once sync.Once
+	bits []uint64
+	rows []int
+	err  error
+}
+
+// planKey identifies a plan group: one GROUP BY key-set combined with one
+// canonical WHERE-mask signature.
+type planKey struct {
+	keys string
+	sig  string
+}
+
+// planEntry caches the pass-1 group-discovery result of one plan group: which
+// groups are non-empty under the mask, in first-seen row order, and how many
+// matching rows each has. Every query of the plan group — across batches —
+// shares it, so only the first query ever pays the discovery scan. All fields
+// are read-only after the once completes.
+type planEntry struct {
+	once   sync.Once
+	gi     *dataframe.GroupIndex
+	rows   []int // matching rows ascending; identity list when mask-free
+	local  []int // gid -> local index + 1; 0 = group empty under the mask
+	repr   []int // local -> representative (first matching) row
+	counts []int // local -> total matching rows
+	err    error
 }
 
 // NewExecutor builds an executor over one relevant table. The table must not
@@ -56,12 +153,34 @@ func NewExecutor(r *dataframe.Table) *Executor {
 	return &Executor{
 		r:      r,
 		groups: map[string]*groupEntry{},
+		preds:  map[string]*predEntry{},
 		masks:  map[string]*maskEntry{},
+		plans:  map[planKey]*planEntry{},
 	}
 }
 
 // Table returns the relevant table the executor is bound to.
 func (e *Executor) Table() *dataframe.Table { return e.r }
+
+// boundedGet returns m's entry for k, creating it with mk on a miss and
+// dropping the whole map first when the bound is hit. Caller must hold e.mu.
+func boundedGet[K comparable, V any](m *map[K]*V, k K, max int, hits, misses, evictions *int64, mk func() *V) *V {
+	if *m == nil {
+		*m = map[K]*V{}
+	}
+	if ent, ok := (*m)[k]; ok {
+		*hits++
+		return ent
+	}
+	*misses++
+	if len(*m) >= max {
+		*m = make(map[K]*V, max/4)
+		*evictions++
+	}
+	ent := mk()
+	(*m)[k] = ent
+	return ent
+}
 
 // groupIndex returns the cached GroupIndex for a key-set, building it on
 // first use. Key order matters (it fixes the output column order), so the
@@ -69,11 +188,8 @@ func (e *Executor) Table() *dataframe.Table { return e.r }
 func (e *Executor) groupIndex(keys []string) (*dataframe.GroupIndex, error) {
 	k := strings.Join(keys, "\x1f")
 	e.mu.Lock()
-	ent, ok := e.groups[k]
-	if !ok {
-		ent = &groupEntry{}
-		e.groups[k] = ent
-	}
+	ent := boundedGet(&e.groups, k, 1<<20, &e.stats.GroupHits, &e.stats.GroupMisses, &e.stats.Evictions,
+		func() *groupEntry { return &groupEntry{} })
 	e.mu.Unlock()
 	ent.once.Do(func() {
 		ent.idx, ent.err = e.r.BuildGroupIndex(keys...)
@@ -117,74 +233,200 @@ func predCacheKey(p Predicate) string {
 func (e *Executor) predMask(p Predicate) ([]uint64, error) {
 	k := predCacheKey(p)
 	e.mu.Lock()
-	ent, ok := e.masks[k]
-	if !ok {
-		ent = &maskEntry{}
-		e.masks[k] = ent
-	}
+	ent := boundedGet(&e.preds, k, maxPredEntries, &e.stats.PredHits, &e.stats.PredMisses, &e.stats.Evictions,
+		func() *predEntry { return &predEntry{} })
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		mask := make([]bool, e.r.NumRows())
-		for i := range mask {
-			mask[i] = true
-		}
-		if err := p.Eval(e.r, mask); err != nil {
-			ent.err = err
-			return
-		}
-		bm := make([]uint64, (len(mask)+63)/64)
-		for i, m := range mask {
-			if m {
-				bm[i>>6] |= 1 << uint(i&63)
-			}
-		}
-		ent.bits = bm
+		ent.bits, ent.err = e.buildPredBits(p)
 	})
 	return ent.bits, ent.err
 }
 
-// whereMask builds a query's WHERE mask as the word-wise intersection of
-// cached per-predicate bitmaps; nil means "all rows" (predicate-free query).
-// Two-sided ranges are decomposed into their one-sided halves before the
-// cache lookup: a pool discretised over g grid points yields ~g² distinct
-// (lo, hi) pairs per attribute but only ~2g one-sided bounds, so the cache
-// converges after a handful of misses instead of one per bound pair. The
-// intersection is exact — a NULL row fails both halves, matching SQL
-// three-valued logic just like the combined predicate.
-func (e *Executor) whereMask(preds []Predicate) ([]uint64, error) {
-	var mask []uint64
-	and := func(p Predicate) error {
-		pm, err := e.predMask(p)
-		if err != nil {
-			return err
-		}
-		if mask == nil {
-			mask = make([]uint64, len(pm))
-			copy(mask, pm)
-			return nil
-		}
-		for i := range mask {
-			mask[i] &= pm[i]
-		}
-		return nil
+// floatView returns a float64 materialisation of a numeric (or bool) column,
+// coerced exactly as Column.AsFloat coerces — float columns share their
+// backing slice, other kinds are converted once per executor and cached, so
+// every scan reads a flat []float64 with no per-row kind dispatch. Values at
+// NULL positions are unspecified; callers gate on the validity slice.
+func (e *Executor) floatView(col *dataframe.Column) []float64 {
+	if col.Kind() == dataframe.KindFloat {
+		return col.FloatData()
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.views == nil {
+		e.views = map[string][]float64{}
+	}
+	if v, ok := e.views[col.Name()]; ok {
+		return v
+	}
+	v := make([]float64, col.Len())
+	switch col.Kind() {
+	case dataframe.KindInt, dataframe.KindTime:
+		for i, x := range col.IntData() {
+			v[i] = float64(x)
+		}
+	case dataframe.KindBool:
+		for i, x := range col.BoolData() {
+			if x {
+				v[i] = 1
+			}
+		}
+	}
+	e.views[col.Name()] = v
+	return v
+}
+
+// buildPredBits evaluates one predicate into a full-table bitmap through
+// kind-specialised loops (direct slice access instead of Predicate.Eval's
+// per-row AsFloat calls). Semantics match Eval exactly: NULL rows never
+// match, bounds are inclusive.
+func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
+	col := e.r.Column(p.Attr)
+	if col == nil {
+		return nil, fmt.Errorf("query: predicate on missing column %q", p.Attr)
+	}
+	n := e.r.NumRows()
+	bm := make([]uint64, (n+63)/64)
+	set := func(i int) { bm[i>>6] |= 1 << uint(i&63) }
+	valid := col.ValidData()
+	switch p.Kind {
+	case PredEq:
+		switch col.Kind() {
+		case dataframe.KindString:
+			strs := col.StrData()
+			for i := 0; i < n; i++ {
+				if valid[i] && strs[i] == p.StrValue {
+					set(i)
+				}
+			}
+		case dataframe.KindBool:
+			bools := col.BoolData()
+			for i := 0; i < n; i++ {
+				if valid[i] && bools[i] == p.BoolValue {
+					set(i)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("query: equality predicate on %s column %q", col.Kind(), p.Attr)
+		}
+	case PredRange:
+		if !col.Kind().IsNumeric() {
+			return nil, fmt.Errorf("query: range predicate on %s column %q", col.Kind(), p.Attr)
+		}
+		vals := e.floatView(col)
+		switch {
+		case p.HasLo && p.HasHi:
+			// Normally unreachable: whereEntry decomposes two-sided ranges
+			// into their one-sided halves before the bitmap cache (so BETWEEN
+			// masks are never cached whole). Kept correct for any future
+			// caller that skips decomposition.
+			for i := 0; i < n; i++ {
+				if valid[i] && vals[i] >= p.Lo && vals[i] <= p.Hi {
+					set(i)
+				}
+			}
+		case p.HasLo:
+			for i := 0; i < n; i++ {
+				if valid[i] && vals[i] >= p.Lo {
+					set(i)
+				}
+			}
+		case p.HasHi:
+			for i := 0; i < n; i++ {
+				if valid[i] && vals[i] <= p.Hi {
+					set(i)
+				}
+			}
+		default: // trivial range: matches every non-NULL row, like Eval
+			for i := 0; i < n; i++ {
+				if valid[i] {
+					set(i)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown predicate kind %d", p.Kind)
+	}
+	return bm, nil
+}
+
+// decomposePreds rewrites a predicate list into its canonical one-sided form:
+// two-sided ranges split into their one-sided halves before the cache lookup.
+// A pool discretised over g grid points yields ~g² distinct (lo, hi) pairs
+// per attribute but only ~2g one-sided bounds, so the bitmap cache converges
+// after a handful of misses instead of one per bound pair. The intersection
+// is exact — a NULL row fails both halves, matching SQL three-valued logic
+// just like the combined predicate.
+func decomposePreds(preds []Predicate) []Predicate {
+	out := make([]Predicate, 0, len(preds)+2)
 	for _, p := range preds {
 		if p.Kind == PredRange && p.HasLo && p.HasHi {
-			lo := Predicate{Attr: p.Attr, Kind: PredRange, HasLo: true, Lo: p.Lo}
-			hi := Predicate{Attr: p.Attr, Kind: PredRange, HasHi: true, Hi: p.Hi}
-			if err := and(lo); err != nil {
-				return nil, err
-			}
-			if err := and(hi); err != nil {
-				return nil, err
-			}
+			out = append(out,
+				Predicate{Attr: p.Attr, Kind: PredRange, HasLo: true, Lo: p.Lo},
+				Predicate{Attr: p.Attr, Kind: PredRange, HasHi: true, Hi: p.Hi})
 			continue
 		}
-		if err := and(p); err != nil {
-			return nil, err
+		out = append(out, p)
+	}
+	return out
+}
+
+// maskSignature is the canonical identity of a WHERE clause: the sorted,
+// deduplicated cache keys of its decomposed predicates. Queries whose
+// predicate sets select the same rows by construction — reordered conjuncts,
+// a BETWEEN spelled as two one-sided ranges — share a signature and therefore
+// a mask entry and a plan group. The empty signature means "all rows".
+func maskSignature(preds []Predicate) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(preds)+2)
+	for _, p := range decomposePreds(preds) {
+		keys = append(keys, predCacheKey(p))
+	}
+	sort.Strings(keys)
+	uniq := keys[:1]
+	for _, k := range keys[1:] {
+		if k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
 		}
 	}
-	return mask, nil
+	return strings.Join(uniq, "\x1e")
+}
+
+// whereEntry returns the cached combined mask of a predicate list — bitmap
+// plus matching-row indices — building it from the per-predicate bitmaps on
+// first use. A predicate-free query returns (sig "", nil, nil): all rows.
+func (e *Executor) whereEntry(preds []Predicate) (string, *maskEntry, error) {
+	sig := maskSignature(preds)
+	if sig == "" {
+		return "", nil, nil
+	}
+	e.mu.Lock()
+	ent := boundedGet(&e.masks, sig, maxMaskEntries, &e.stats.MaskHits, &e.stats.MaskMisses, &e.stats.Evictions,
+		func() *maskEntry { return &maskEntry{} })
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		var mask []uint64
+		for _, p := range decomposePreds(preds) {
+			pm, err := e.predMask(p)
+			if err != nil {
+				ent.err = err
+				return
+			}
+			if mask == nil {
+				mask = make([]uint64, len(pm))
+				copy(mask, pm)
+				continue
+			}
+			for i := range mask {
+				mask[i] &= pm[i]
+			}
+		}
+		ent.bits = mask
+		ent.rows = matchedRows(mask)
+	})
+	return sig, ent, ent.err
 }
 
 // matchedRows materialises the row indices a bitmap selects, in ascending
@@ -205,14 +447,118 @@ func matchedRows(mask []uint64) []int {
 	return rows
 }
 
+// rowIdentity returns the shared 0..n-1 row list, built once per executor, so
+// predicate-free plans can scan through the same []int-driven loops as masked
+// plans without a per-query allocation.
+func (e *Executor) rowIdentity() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.allRows == nil {
+		e.allRows = make([]int, e.r.NumRows())
+		for i := range e.allRows {
+			e.allRows[i] = i
+		}
+	}
+	return e.allRows
+}
+
+// countScan bumps the shared-scan counter (one full pass over a plan group's
+// matching rows).
+func (e *Executor) countScan() {
+	e.mu.Lock()
+	e.stats.FusedScans++
+	e.mu.Unlock()
+}
+
+// plan returns the cached plan-group entry for (keys, preds), running the
+// group-discovery scan on first use: the non-empty groups under the WHERE
+// mask in first-seen order over the matching rows (matching Query.Execute's
+// output order), with total matching rows per group. Later queries on the
+// same plan group — from any batch — skip straight to their value passes.
+func (e *Executor) plan(keys []string, preds []Predicate) (*planEntry, error) {
+	gi, err := e.groupIndex(keys)
+	if err != nil {
+		return nil, err
+	}
+	sig, me, err := e.whereEntry(preds)
+	if err != nil {
+		return nil, err
+	}
+	pk := planKey{keys: strings.Join(keys, "\x1f"), sig: sig}
+	e.mu.Lock()
+	ent := boundedGet(&e.plans, pk, maxPlanEntries, &e.stats.PlanHits, &e.stats.PlanMisses, &e.stats.Evictions,
+		func() *planEntry { return &planEntry{} })
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.gi = gi
+		if me != nil {
+			ent.rows = me.rows
+		} else {
+			ent.rows = e.rowIdentity()
+		}
+		e.countScan()
+		rowGID := gi.RowGroups()
+		local := make([]int, gi.NumGroups())
+		var repr, counts []int
+		for _, i := range ent.rows {
+			gid := rowGID[i]
+			li := local[gid]
+			if li == 0 {
+				repr = append(repr, i)
+				counts = append(counts, 0)
+				li = len(repr)
+				local[gid] = li
+			}
+			counts[li-1]++
+		}
+		ent.local, ent.repr, ent.counts = local, repr, counts
+	})
+	return ent, ent.err
+}
+
+// coreScratch holds the per-query integer/float work buffers of the
+// per-query core, recycled through a pool so the hot loop allocates only its
+// returned result slices.
+type coreScratch struct {
+	offs, fill []int
+	fbuf       []float64
+}
+
+var corePool = sync.Pool{New: func() interface{} { return &coreScratch{} }}
+
+// grabInts returns a zeroed length-n int slice backed by *buf, growing it as
+// needed.
+func grabInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+		return *buf
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
+}
+
+// grabFloats returns a length-n float slice backed by *buf; contents are
+// unspecified (callers overwrite every slot).
+func grabFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+		return *buf
+	}
+	return (*buf)[:n]
+}
+
 // execResult is the group-level outcome of one query: the representative
 // source row, aggregate value and validity per non-empty group, in first-seen
 // order over the matching rows, plus the group index the query ran under.
+// Batch paths may also carry the plan group's shared key columns. Slices can
+// be shared across the queries of one plan group; they are read-only.
 type execResult struct {
-	gi    *dataframe.GroupIndex
-	repr  []int
-	vals  []float64
-	valid []bool
+	gi      *dataframe.GroupIndex
+	repr    []int
+	vals    []float64
+	valid   []bool
+	keyCols []*dataframe.Column
 }
 
 // Execute evaluates one query against the executor's table, producing the
@@ -223,9 +569,18 @@ func (e *Executor) Execute(q Query, featureName string) (*dataframe.Table, error
 	if err != nil {
 		return nil, err
 	}
+	return resultTable(er, featureName)
+}
+
+// resultTable materialises an execution result as a (keys..., feature) table.
+func resultTable(er execResult, featureName string) (*dataframe.Table, error) {
 	out := dataframe.MustNewTable()
-	for _, kc := range er.gi.KeyColumns() {
-		if err := out.AddColumn(kc.Take(er.repr)); err != nil {
+	keyCols := er.keyCols
+	if keyCols == nil {
+		keyCols = takeKeyCols(er.gi, er.repr)
+	}
+	for _, kc := range keyCols {
+		if err := out.AddColumn(kc); err != nil {
 			return nil, err
 		}
 	}
@@ -238,9 +593,23 @@ func (e *Executor) Execute(q Query, featureName string) (*dataframe.Table, error
 	return out, nil
 }
 
-// executeCore runs the masked, index-backed aggregation shared by Execute
-// (which materialises a result table) and Augment (which maps the group
-// values straight onto the training rows).
+// takeKeyCols materialises the group-key columns of a result (one row per
+// non-empty group, representative-row values).
+func takeKeyCols(gi *dataframe.GroupIndex, repr []int) []*dataframe.Column {
+	cols := make([]*dataframe.Column, 0, len(gi.KeyColumns()))
+	for _, kc := range gi.KeyColumns() {
+		cols = append(cols, kc.Take(repr))
+	}
+	return cols
+}
+
+// executeCore runs the masked, index-backed aggregation shared by the
+// single-query entry points Execute (which materialises a result table) and
+// AugmentValues (which maps the group values straight onto the training
+// rows). Group discovery comes from the shared plan cache; the two value
+// passes (non-null counts, then a flat buffer partitioned by group) run
+// per query over pooled scratch. The fused batch path in fused.go replaces
+// those per-query passes with shared streaming scans.
 func (e *Executor) executeCore(q Query) (execResult, error) {
 	if len(q.Keys) == 0 {
 		return execResult{}, fmt.Errorf("query: execute with no group-by keys")
@@ -249,107 +618,71 @@ func (e *Executor) executeCore(q Query) (execResult, error) {
 	if aggCol == nil {
 		return execResult{}, fmt.Errorf("query: no aggregation column %q", q.AggAttr)
 	}
-	gi, err := e.groupIndex(q.Keys)
+	pe, err := e.plan(q.Keys, q.Preds)
 	if err != nil {
 		return execResult{}, err
 	}
-	mask, err := e.whereMask(q.Preds)
-	if err != nil {
-		return execResult{}, err
-	}
-	// eachMatch visits the matching rows in ascending order. A nil mask
-	// (predicate-free query) walks the row range directly rather than
-	// materialising an n-element identity slice per query.
-	var rows []int
-	if mask != nil {
-		rows = matchedRows(mask)
-	}
-	eachMatch := func(visit func(row int)) {
-		if mask == nil {
-			for i, n := 0, e.r.NumRows(); i < n; i++ {
-				visit(i)
-			}
-			return
-		}
-		for _, i := range rows {
-			visit(i)
-		}
-	}
+	e.mu.Lock()
+	e.stats.CoreQueries++
+	e.mu.Unlock()
 
-	// Pass 1: discover the non-empty groups in first-seen order over the
-	// matching rows (matching Query.Execute's output order), counting total
-	// and non-null rows per group.
+	ngroups := len(pe.repr)
 	useString := aggCol.Kind() == dataframe.KindString
 	allNull := useString && !q.Agg.SupportsStrings()
-	local := make([]int, gi.NumGroups()) // gid -> local index + 1; 0 = unseen
-	var (
-		repr   []int // local -> representative row (first matching)
-		counts []int // local -> total matching rows
-		nvalid []int // local -> matching rows with non-null agg value
-	)
-	eachMatch(func(i int) {
-		gid := gi.GroupOf(i)
-		li := local[gid]
-		if li == 0 {
-			repr = append(repr, i)
-			counts = append(counts, 0)
-			nvalid = append(nvalid, 0)
-			li = len(repr)
-			local[gid] = li
-		}
-		li--
-		counts[li]++
-		if !allNull && !aggCol.IsNull(i) {
-			nvalid[li]++
-		}
-	})
-	ngroups := len(repr)
-
 	vals := make([]float64, ngroups)
 	valid := make([]bool, ngroups)
 	if !allNull && ngroups > 0 {
-		// Pass 2: fill one flat value buffer partitioned by group via offset
-		// prefix sums, then apply the aggregate per group. Values land in row
-		// order within each group, exactly as Query.Execute collects them.
-		offs := make([]int, ngroups+1)
-		for li, nv := range nvalid {
-			offs[li+1] = offs[li] + nv
+		sc := corePool.Get().(*coreScratch)
+		local, rowGID := pe.local, pe.gi.RowGroups()
+		colValid := aggCol.ValidData()
+
+		// One value pass: fill a flat buffer partitioned by group, with
+		// offsets prefix-summed from the plan's cached total row counts (an
+		// upper bound on the non-null counts, so no counting pre-pass is
+		// needed). Values land in row order within each group, exactly as
+		// Query.Execute collects them, and the value read is kind-specialised
+		// through the column's bulk accessors instead of per-row AsFloat
+		// calls.
+		offs := grabInts(&sc.offs, ngroups+1)
+		for li, n := range pe.counts {
+			offs[li+1] = offs[li] + n
 		}
-		var fbuf []float64
+		fill := grabInts(&sc.fill, ngroups)
+		copy(fill, offs[:ngroups])
 		var sbuf []string
+		var fbuf []float64
 		if useString {
 			sbuf = make([]string, offs[ngroups])
-		} else {
-			fbuf = make([]float64, offs[ngroups])
-		}
-		fill := make([]int, ngroups)
-		copy(fill, offs[:ngroups])
-		eachMatch(func(i int) {
-			if aggCol.IsNull(i) {
-				return
-			}
-			li := local[gi.GroupOf(i)] - 1
-			if useString {
-				sbuf[fill[li]] = aggCol.Str(i)
-			} else {
-				v, ok := aggCol.AsFloat(i)
-				if !ok {
-					return
+			strs := aggCol.StrData()
+			for _, i := range pe.rows {
+				if colValid[i] {
+					li := local[rowGID[i]] - 1
+					sbuf[fill[li]] = strs[i]
+					fill[li]++
 				}
-				fbuf[fill[li]] = v
 			}
-			fill[li]++
-		})
+		} else {
+			fbuf = grabFloats(&sc.fbuf, offs[ngroups])
+			fvals := e.floatView(aggCol)
+			for _, i := range pe.rows {
+				if colValid[i] {
+					li := local[rowGID[i]] - 1
+					fbuf[fill[li]] = fvals[i]
+					fill[li]++
+				}
+			}
+		}
 		for li := 0; li < ngroups; li++ {
 			if useString {
-				vals[li], valid[li] = q.Agg.StringApply(sbuf[offs[li]:fill[li]], counts[li])
+				vals[li], valid[li] = q.Agg.StringApply(sbuf[offs[li]:fill[li]], pe.counts[li])
 			} else {
-				vals[li], valid[li] = q.Agg.Apply(fbuf[offs[li]:fill[li]], counts[li])
+				vals[li], valid[li] = q.Agg.Apply(fbuf[offs[li]:fill[li]], pe.counts[li])
 			}
 		}
+		corePool.Put(sc)
 	}
 
-	return execResult{gi: gi, repr: repr, vals: vals, valid: valid}, nil
+	return execResult{gi: pe.gi, repr: pe.repr, vals: vals, valid: valid}, nil
 }
 
 // joinEntry caches the training-table side of Augment's join for one
@@ -370,30 +703,11 @@ type joinKey struct {
 	keys string
 }
 
-// maxJoinEntries bounds the train-side join cache. Entries are keyed by
-// table pointer, so a long-lived executor fed a stream of fresh batch tables
-// (the Transformer serving path) would otherwise retain one group index — and
-// the table itself — per batch forever. When the bound is hit the whole map
-// is dropped: join entries are pure caches, and a serving loop re-deriving
-// one index per batch was missing anyway, while the search-loop pattern (one
-// training table revisited thousands of times) stays comfortably under the
-// bound.
-const maxJoinEntries = 64
-
 func (e *Executor) joinIndex(d *dataframe.Table, keys []string) (*joinEntry, error) {
 	k := joinKey{d: d, keys: strings.Join(keys, "\x1f")}
 	e.mu.Lock()
-	if e.joins == nil {
-		e.joins = map[joinKey]*joinEntry{}
-	}
-	ent, ok := e.joins[k]
-	if !ok {
-		if len(e.joins) >= maxJoinEntries {
-			e.joins = make(map[joinKey]*joinEntry, maxJoinEntries)
-		}
-		ent = &joinEntry{}
-		e.joins[k] = ent
-	}
+	ent := boundedGet(&e.joins, k, maxJoinEntries, &e.stats.JoinHits, &e.stats.JoinMisses, &e.stats.Evictions,
+		func() *joinEntry { return &joinEntry{} })
 	e.mu.Unlock()
 	ent.once.Do(func() {
 		ent.idx, ent.err = d.BuildGroupIndex(keys...)
@@ -436,12 +750,16 @@ func (e *Executor) AugmentValues(d *dataframe.Table, q Query) ([]float64, []bool
 	if err != nil {
 		return nil, nil, err
 	}
+	return e.scatter(d, q, er)
+}
+
+// scatter maps a query's group values onto d's rows: result group -> train
+// group (via the cached join mapping), then train group -> row values.
+func (e *Executor) scatter(d *dataframe.Table, q Query, er execResult) ([]float64, []bool, error) {
 	jn, err := e.joinIndex(d, q.Keys)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Scatter the group values onto d's rows: result group -> train group
-	// (via the cached mapping), then train group -> row values.
 	dgToLocal := make([]int, jn.idx.NumGroups()) // train gid -> local index + 1
 	for li, r := range er.repr {
 		if dg := jn.rToD[er.gi.GroupOf(r)]; dg >= 0 {
@@ -451,8 +769,9 @@ func (e *Executor) AugmentValues(d *dataframe.Table, q Query) ([]float64, []bool
 	n := d.NumRows()
 	vals := make([]float64, n)
 	valid := make([]bool, n)
+	dRowGID := jn.idx.RowGroups()
 	for row := 0; row < n; row++ {
-		if li := dgToLocal[jn.idx.GroupOf(row)]; li > 0 {
+		if li := dgToLocal[dRowGID[row]]; li > 0 {
 			v := er.vals[li-1]
 			// NaN aggregates are NULL, matching NewFloatColumn + Floats.
 			if er.valid[li-1] && !math.IsNaN(v) {
@@ -472,6 +791,12 @@ func (e *Executor) Augment(d *dataframe.Table, q Query, featureName string) (*da
 	if err != nil {
 		return nil, err
 	}
+	return augmentedTable(d, featureName, vals, valid)
+}
+
+// augmentedTable appends one feature column to d's columns under LeftJoin's
+// renaming rule, sharing d's column storage.
+func augmentedTable(d *dataframe.Table, featureName string, vals []float64, valid []bool) (*dataframe.Table, error) {
 	if featureName == "" {
 		featureName = "feature"
 	}
@@ -490,31 +815,31 @@ func (e *Executor) Augment(d *dataframe.Table, q Query, featureName string) (*da
 	return out, nil
 }
 
-// ExecuteBatch evaluates a slice of candidate queries concurrently on a
-// worker pool bounded by Parallelism (default GOMAXPROCS), preserving result
-// order. The first error aborts the batch. Queries in a batch share the
-// group-index and predicate-bitmap caches, so a pool of similar queries — the
-// shape every search procedure produces — pays the grouping and predicate
-// costs once instead of once per query.
+// ExecuteBatch evaluates a slice of candidate queries through the fused
+// shared-scan path (see fused.go), preserving result order. The first error
+// aborts the batch. Queries in a batch share group indexes, predicate
+// bitmaps and plan groups, so a pool of similar queries — the shape every
+// search procedure produces — pays the scan cost once per plan group instead
+// of once per query.
 func (e *Executor) ExecuteBatch(qs []Query, featureName string) ([]*dataframe.Table, error) {
 	return e.ExecuteBatchContext(context.Background(), qs, featureName)
 }
 
-// ExecuteBatchContext is ExecuteBatch under a context: queries not yet started
-// when the context is cancelled are skipped and the context error is returned,
-// so a long batch aborts after at most the in-flight queries.
+// ExecuteBatchContext is ExecuteBatch under a context: plan groups not yet
+// started when the context is cancelled are skipped and the context error is
+// returned, so a long batch aborts after at most the in-flight scans.
 func (e *Executor) ExecuteBatchContext(ctx context.Context, qs []Query, featureName string) ([]*dataframe.Table, error) {
-	results := make([]*dataframe.Table, len(qs))
-	err := e.runBatch(ctx, len(qs), func(i int) error {
-		res, err := e.Execute(qs[i], featureName)
-		if err != nil {
-			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
-		}
-		results[i] = res
-		return nil
-	})
+	ers, err := e.executeBatchCore(ctx, qs, true)
 	if err != nil {
 		return nil, err
+	}
+	results := make([]*dataframe.Table, len(qs))
+	for i, er := range ers {
+		res, err := resultTable(er, featureName)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
+		}
+		results[i] = res
 	}
 	return results, nil
 }
@@ -528,23 +853,23 @@ func (e *Executor) AugmentBatch(d *dataframe.Table, qs []Query, featureName stri
 // AugmentBatchContext is AugmentBatch under a context (see
 // ExecuteBatchContext for the cancellation contract).
 func (e *Executor) AugmentBatchContext(ctx context.Context, d *dataframe.Table, qs []Query, featureName string) ([]*dataframe.Table, error) {
-	results := make([]*dataframe.Table, len(qs))
-	err := e.runBatch(ctx, len(qs), func(i int) error {
-		res, err := e.Augment(d, qs[i], featureName)
-		if err != nil {
-			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
-		}
-		results[i] = res
-		return nil
-	})
+	vals, valid, err := e.AugmentValuesBatchContext(ctx, d, qs)
 	if err != nil {
 		return nil, err
+	}
+	results := make([]*dataframe.Table, len(qs))
+	for i := range qs {
+		res, err := augmentedTable(d, featureName, vals[i], valid[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
+		}
+		results[i] = res
 	}
 	return results, nil
 }
 
-// AugmentValuesBatch is AugmentValues over a slice of queries on the worker
-// pool: per-query feature slices aligned with d's rows, in input order.
+// AugmentValuesBatch is AugmentValues over a slice of queries through the
+// fused path: per-query feature slices aligned with d's rows, in input order.
 func (e *Executor) AugmentValuesBatch(d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
 	return e.AugmentValuesBatchContext(context.Background(), d, qs)
 }
@@ -552,10 +877,21 @@ func (e *Executor) AugmentValuesBatch(d *dataframe.Table, qs []Query) ([][]float
 // AugmentValuesBatchContext is AugmentValuesBatch under a context (see
 // ExecuteBatchContext for the cancellation contract).
 func (e *Executor) AugmentValuesBatchContext(ctx context.Context, d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
+	for _, q := range qs {
+		for _, k := range q.Keys {
+			if !d.HasColumn(k) {
+				return nil, nil, fmt.Errorf("%s: query: training table has no join key %q", q.SQL("R"), k)
+			}
+		}
+	}
+	ers, err := e.executeBatchCore(ctx, qs, false)
+	if err != nil {
+		return nil, nil, err
+	}
 	vals := make([][]float64, len(qs))
 	valid := make([][]bool, len(qs))
-	err := e.runBatch(ctx, len(qs), func(i int) error {
-		v, ok, err := e.AugmentValues(d, qs[i])
+	err = e.runBatch(ctx, len(qs), func(i int) error {
+		v, ok, err := e.scatter(d, qs[i], ers[i])
 		if err != nil {
 			return fmt.Errorf("%s: %w", qs[i].SQL("R"), err)
 		}
