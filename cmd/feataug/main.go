@@ -14,6 +14,14 @@
 //
 //	feataug -fit tmall -rows 400 -seed 1 -plan-out plan.json
 //	feataug -plan-in plan.json -transform tmall -rows 400 -seed 2 -out batch.csv
+//
+// A multi-table scenario spec, dataset:split=column, shards the dataset's
+// relevant table into one relevant table per distinct value of a string
+// column (Section III's multiple-relevant-tables decomposition) and runs the
+// per-table searches concurrently through FitMulti / MultiFeaturePlan:
+//
+//	feataug -fit tmall:split=action -rows 400 -seed 1 -plan-out multi.json
+//	feataug -plan-in multi.json -transform tmall:split=action -rows 400 -seed 2 -out batch.csv
 package main
 
 import (
@@ -24,10 +32,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	repro "repro"
 	"repro/internal/agg"
+	"repro/internal/dataframe"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/feataug"
@@ -49,10 +59,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("feataug", flag.ContinueOnError)
 	var (
 		exp       = fs.String("exp", "table3", "experiment: table1|table2|table3|table6|table7|table8|fig5|fig6|fig7|fig8|fig9|all")
-		fit       = fs.String("fit", "", "fit mode: dataset name to learn a FeaturePlan from (requires -plan-out)")
-		planOut   = fs.String("plan-out", "", "fit mode: write the learned FeaturePlan JSON to this file")
-		planIn    = fs.String("plan-in", "", "transform mode: load a FeaturePlan JSON from this file")
-		transform = fs.String("transform", "", "transform mode: dataset name to apply the loaded plan to")
+		fit       = fs.String("fit", "", "fit mode: dataset (or dataset:split=column multi-table scenario) to learn a plan from (requires -plan-out)")
+		planOut   = fs.String("plan-out", "", "fit mode: write the learned plan JSON to this file")
+		planIn    = fs.String("plan-in", "", "transform mode: load a plan JSON from this file")
+		transform = fs.String("transform", "", "transform mode: dataset (or dataset:split=column scenario) to apply the loaded plan to")
 		rows      = fs.Int("rows", 400, "training rows per generated dataset")
 		logs      = fs.Int("logs", 8, "mean relevant rows per training key")
 		reps      = fs.Int("reps", 1, "repetitions to average (paper: 5)")
@@ -268,20 +278,124 @@ func (fo fitOpts) dataset(name string) (*datagen.Dataset, error) {
 	return gen(datagen.Options{TrainRows: fo.rows, LogsPerKey: fo.logs, Seed: fo.seed}), nil
 }
 
-// runFit learns a FeaturePlan on one dataset and writes it as JSON.
-func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out, stderr io.Writer) error {
-	d, err := fo.dataset(dataset)
-	if err != nil {
-		return err
+// parseScenario splits a fit/transform spec: "tmall" is a single-table
+// scenario, "tmall:split=action" shards the relevant table by the distinct
+// values of a string column into a multi-table scenario.
+func parseScenario(spec string) (dataset, splitCol string, err error) {
+	dataset, mod, ok := strings.Cut(spec, ":")
+	if !ok {
+		return dataset, "", nil
 	}
+	col, ok := strings.CutPrefix(mod, "split=")
+	if !ok || col == "" || dataset == "" {
+		return "", "", fmt.Errorf("bad scenario %q: want dataset or dataset:split=column", spec)
+	}
+	return dataset, col, nil
+}
+
+// maxSplitShards bounds how many relevant tables a split spec may produce —
+// one search runs per shard, so an accidental split on a high-cardinality
+// column should fail loudly instead of launching hundreds of searches.
+const maxSplitShards = 16
+
+// splitColumn resolves and checks a split column: present and string-typed.
+func splitColumn(d *datagen.Dataset, splitCol string) (*dataframe.Column, error) {
+	col := d.Relevant.Column(splitCol)
+	if col == nil {
+		return nil, fmt.Errorf("split column %q not in relevant table (columns: %v)",
+			splitCol, d.Relevant.ColumnNames())
+	}
+	if col.Kind() != dataframe.KindString {
+		return nil, fmt.Errorf("split column %q is %s; splitting needs a string column", splitCol, col.Kind())
+	}
+	return col, nil
+}
+
+// shardBy filters the relevant table down to the rows carrying one split
+// value (NULLs match no shard).
+func shardBy(d *datagen.Dataset, col *dataframe.Column, value string) *dataframe.Table {
+	return d.Relevant.Filter(func(i int) bool { return !col.IsNull(i) && col.Str(i) == value })
+}
+
+// splitInputs shards a dataset's relevant table by the distinct values of a
+// string column: one RelevantInput per value (sorted for determinism), named
+// by the value, with the split column removed from the predicate attributes
+// (it is constant within a shard). The second result is the number of rows
+// whose split value is NULL — they land in no shard, and the caller should
+// say so.
+func splitInputs(d *datagen.Dataset, splitCol string) ([]repro.RelevantInput, int, error) {
+	col, err := splitColumn(d, splitCol)
+	if err != nil {
+		return nil, 0, err
+	}
+	distinct := map[string]bool{}
+	nulls := 0
+	for i := 0; i < d.Relevant.NumRows(); i++ {
+		if col.IsNull(i) {
+			nulls++
+			continue
+		}
+		distinct[col.Str(i)] = true
+	}
+	if len(distinct) < 2 {
+		return nil, 0, fmt.Errorf("split column %q has %d distinct value(s); a multi-table scenario needs at least 2", splitCol, len(distinct))
+	}
+	if len(distinct) > maxSplitShards {
+		return nil, 0, fmt.Errorf("split column %q has %d distinct values (max %d); pick a lower-cardinality column", splitCol, len(distinct), maxSplitShards)
+	}
+	values := make([]string, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	var predAttrs []string
+	for _, a := range d.PredAttrs {
+		if a != splitCol {
+			predAttrs = append(predAttrs, a)
+		}
+	}
+	inputs := make([]repro.RelevantInput, 0, len(values))
+	for _, v := range values {
+		inputs = append(inputs, repro.RelevantInput{
+			Name: v, Table: shardBy(d, col, v), Keys: d.Keys,
+			AggAttrs: d.AggAttrs, PredAttrs: predAttrs,
+		})
+	}
+	return inputs, nulls, nil
+}
+
+// shardsForPlan rebuilds the relevant-table shards a multi plan binds to,
+// keyed by the plan's fit-time source names — NOT by the values present in
+// the fresh batch. A source with no matching rows binds an empty shard (its
+// features come back NULL) rather than failing the transform: serving must
+// tolerate a small batch that happens to miss a fit-time shard. The second
+// result counts rows matching no source (NULL or values unseen at fit time).
+func shardsForPlan(d *datagen.Dataset, splitCol string, names []string) (map[string]*dataframe.Table, int, error) {
+	col, err := splitColumn(d, splitCol)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := make(map[string]*dataframe.Table, len(names))
+	matched := 0
+	for _, name := range names {
+		shard := shardBy(d, col, name)
+		matched += shard.NumRows()
+		m[name] = shard
+	}
+	return m, d.Relevant.NumRows() - matched, nil
+}
+
+// fitSetup resolves the flag subset shared by the fit modes: the downstream
+// model, the engine config and the function-set option.
+func (fo fitOpts) fitSetup() (ml.Kind, feataug.Config, bool, error) {
 	model := ml.KindXGB
 	if fo.models != "" {
 		kinds, err := parseModels(fo.models)
 		if err != nil {
-			return err
+			return 0, feataug.Config{}, false, err
 		}
 		if len(kinds) != 1 {
-			return fmt.Errorf("-fit takes exactly one model, got %q (a plan is fitted against one downstream model)", fo.models)
+			return 0, feataug.Config{}, false, fmt.Errorf("-fit takes exactly one model, got %q (a plan is fitted against one downstream model)", fo.models)
 		}
 		model = kinds[0]
 	}
@@ -298,16 +412,29 @@ func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out, stde
 		// experiment mode's -paper behaviour.
 		allFuncs = true
 	}
-	opts := []feataug.Option{
-		feataug.WithConfig(cfg),
-		feataug.WithModel(model),
-		feataug.WithProgress(func(stage feataug.Stage, done, total int) {
-			fmt.Fprintf(out, "fit: %-11s %d/%d\n", stage, done, total)
-		}),
+	return model, cfg, allFuncs, nil
+}
+
+// runFit learns a FeaturePlan (or, for a split scenario, a MultiFeaturePlan)
+// and writes it as JSON.
+func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr io.Writer) error {
+	dataset, splitCol, err := parseScenario(spec)
+	if err != nil {
+		return err
 	}
+	d, err := fo.dataset(dataset)
+	if err != nil {
+		return err
+	}
+	model, cfg, allFuncs, err := fo.fitSetup()
+	if err != nil {
+		return err
+	}
+	opts := []feataug.Option{feataug.WithConfig(cfg), feataug.WithModel(model)}
 	if fo.verbose {
 		// -v surfaces the engine's log lines — including the executor's
-		// cache/scan stats printed at the end of the run — on stderr.
+		// cache/scan stats printed at the end of the run — on stderr. For a
+		// multi-table scenario each line is scoped "[source] ..." by FitMulti.
 		opts = append(opts, feataug.WithLogf(func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}))
@@ -315,6 +442,44 @@ func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out, stde
 	if !allFuncs {
 		opts = append(opts, feataug.WithAggFuncs(agg.Basic()...))
 	}
+
+	if splitCol != "" {
+		inputs, nulls, err := splitInputs(d, splitCol)
+		if err != nil {
+			return err
+		}
+		if nulls > 0 {
+			fmt.Fprintf(stderr, "fit: warning: %d relevant row(s) have NULL %q and are excluded from every shard\n", nulls, splitCol)
+		}
+		// Per-source progress: the per-table searches run concurrently, so
+		// every line carries its table identity.
+		opts = append(opts, feataug.WithSourceProgress(func(source string, stage feataug.Stage, done, total int) {
+			fmt.Fprintf(out, "fit[%s]: %-11s %d/%d\n", source, stage, done, total)
+		}))
+		plan, err := feataug.FitMulti(ctx, repro.DatasetProblem(d), inputs, opts...)
+		if err != nil {
+			return err
+		}
+		data, err := plan.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(planPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fit: %d queries across %d relevant tables -> %s\n",
+			len(plan.NamedQueries()), len(plan.Sources), planPath)
+		for _, src := range plan.Sources {
+			for _, pq := range src.Plan.Queries {
+				fmt.Fprintf(out, "  %-20s loss %.4f  %s\n", pq.Feature, pq.Loss, pq.Query.SQL(src.Name))
+			}
+		}
+		return nil
+	}
+
+	opts = append(opts, feataug.WithProgress(func(stage feataug.Stage, done, total int) {
+		fmt.Fprintf(out, "fit: %-11s %d/%d\n", stage, done, total)
+	}))
 	plan, err := feataug.Fit(ctx, repro.DatasetProblem(d), opts...)
 	if err != nil {
 		return err
@@ -334,15 +499,16 @@ func runFit(ctx context.Context, dataset, planPath string, fo fitOpts, out, stde
 	return nil
 }
 
-// runTransform loads a FeaturePlan and materialises its features onto a
-// fresh batch of the dataset (the transform half of the lifecycle — no
-// search happens here).
-func runTransform(ctx context.Context, planPath, dataset string, fo fitOpts, out, stderr io.Writer) error {
-	data, err := os.ReadFile(planPath)
+// runTransform loads a plan and materialises its features onto a fresh batch
+// of the dataset (the transform half of the lifecycle — no search happens
+// here). A split scenario loads a MultiFeaturePlan and rebuilds the same
+// relevant-table shards to bind it to.
+func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, stderr io.Writer) error {
+	dataset, splitCol, err := parseScenario(spec)
 	if err != nil {
 		return err
 	}
-	plan, err := feataug.DecodePlan(data)
+	data, err := os.ReadFile(planPath)
 	if err != nil {
 		return err
 	}
@@ -350,20 +516,58 @@ func runTransform(ctx context.Context, planPath, dataset string, fo fitOpts, out
 	if err != nil {
 		return err
 	}
-	tr, err := plan.Transformer(d.Relevant)
-	if err != nil {
-		return err
-	}
-	augmented, err := tr.Transform(ctx, d.Train)
-	if err != nil {
-		return err
+
+	var augmented *repro.Table
+	var nfeats int
+	var stats func() repro.ExecutorStats
+	if splitCol != "" {
+		plan, err := feataug.DecodeMultiPlan(data)
+		if err != nil {
+			if _, singleErr := feataug.DecodePlan(data); singleErr == nil {
+				return fmt.Errorf("%s holds a single-table plan; transform it without the :split= spec", planPath)
+			}
+			return err
+		}
+		shards, unmatched, err := shardsForPlan(d, splitCol, plan.SourceNames())
+		if err != nil {
+			return err
+		}
+		if unmatched > 0 {
+			fmt.Fprintf(stderr, "transform: warning: %d relevant row(s) match no plan source (NULL or %q values unseen at fit time) and are excluded\n", unmatched, splitCol)
+		}
+		tr, err := plan.Transformer(shards)
+		if err != nil {
+			return err
+		}
+		if augmented, err = tr.Transform(ctx, d.Train); err != nil {
+			return err
+		}
+		nfeats = len(tr.FeatureNames())
+		stats = tr.Stats
+	} else {
+		plan, err := feataug.DecodePlan(data)
+		if err != nil {
+			if _, multiErr := feataug.DecodeMultiPlan(data); multiErr == nil {
+				return fmt.Errorf("%s holds a multi-table plan; transform it with a dataset:split=column spec", planPath)
+			}
+			return err
+		}
+		tr, err := plan.Transformer(d.Relevant)
+		if err != nil {
+			return err
+		}
+		if augmented, err = tr.Transform(ctx, d.Train); err != nil {
+			return err
+		}
+		nfeats = len(plan.Queries)
+		stats = tr.Executor().Stats
 	}
 	// The CSV is the payload on out (-out redirects it cleanly to a file);
 	// the human-readable summary goes to stderr.
 	fmt.Fprintf(stderr, "transform: %d rows x %d columns (+%d planned features)\n",
-		augmented.NumRows(), len(augmented.Columns()), len(plan.Queries))
+		augmented.NumRows(), len(augmented.Columns()), nfeats)
 	if fo.verbose {
-		fmt.Fprintf(stderr, "transform: executor stats: %s\n", tr.Executor().Stats())
+		fmt.Fprintf(stderr, "transform: executor stats: %s\n", stats())
 	}
 	return augmented.WriteCSV(out)
 }

@@ -185,6 +185,110 @@ func TestFitTransformRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFitTransformMultiRoundTrip exercises the multi-table scenario spec:
+// fit a MultiFeaturePlan on tmall's relevant table split by action, then
+// transform a fresh batch with the saved plan.
+func TestFitTransformMultiRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "multi.json")
+
+	var buf, errBuf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-fit", "tmall:split=action", "-rows", "150", "-seed", "1", "-models", "LR",
+		"-warmup", "8", "-gen", "3", "-templates", "1", "-queries", "1",
+		"-plan-out", planPath, "-v",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "relevant tables ->") {
+		t.Fatalf("fit output missing multi summary: %s", out)
+	}
+	// Per-source progress lines carry the shard identity.
+	if !strings.Contains(out, "fit[buy]:") {
+		t.Fatalf("fit output missing per-source progress: %s", out)
+	}
+	// -v log lines are scoped per source.
+	if !strings.Contains(errBuf.String(), "[buy] ") {
+		t.Fatalf("-v output missing source-scoped log lines: %s", errBuf.String())
+	}
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sources"`) {
+		t.Fatalf("plan file is not a multi plan: %.200s", data)
+	}
+
+	buf.Reset()
+	errBuf.Reset()
+	err = run(context.Background(), []string{
+		"-plan-in", planPath, "-transform", "tmall:split=action", "-rows", "150", "-seed", "2", "-v",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.Contains(header, "_feataug_0") {
+		t.Fatalf("transform CSV header missing planned features: %.200s", header)
+	}
+	if !strings.Contains(errBuf.String(), "executor stats:") {
+		t.Fatalf("-v stats missing from stderr: %s", errBuf.String())
+	}
+
+	// Plan-kind mismatches are caught with a pointed message.
+	if err := run(context.Background(), []string{
+		"-plan-in", planPath, "-transform", "tmall", "-rows", "150",
+	}, &buf, &errBuf); err == nil || !strings.Contains(err.Error(), "multi-table plan") {
+		t.Fatalf("single spec on multi plan: err = %v", err)
+	}
+
+	// Serving tolerates a tiny fresh batch that may miss fit-time shards
+	// entirely: shards bind by the plan's source names (empty when absent),
+	// so the transform still succeeds with every planned column present.
+	buf.Reset()
+	errBuf.Reset()
+	err = run(context.Background(), []string{
+		"-plan-in", planPath, "-transform", "tmall:split=action", "-rows", "4", "-logs", "1", "-seed", "3",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatalf("tiny-batch transform failed: %v", err)
+	}
+	header, _, _ = strings.Cut(buf.String(), "\n")
+	for _, want := range []string{"buy_feataug_0", "cart_feataug_0", "click_feataug_0", "fav_feataug_0"} {
+		if !strings.Contains(header, want) {
+			t.Fatalf("tiny-batch CSV header missing %s: %.300s", want, header)
+		}
+	}
+}
+
+// TestParseScenarioAndSplitErrors covers the scenario-spec error paths.
+func TestParseScenarioAndSplitErrors(t *testing.T) {
+	if ds, col, err := parseScenario("tmall"); ds != "tmall" || col != "" || err != nil {
+		t.Fatalf("plain spec = %q,%q,%v", ds, col, err)
+	}
+	if ds, col, err := parseScenario("tmall:split=action"); ds != "tmall" || col != "action" || err != nil {
+		t.Fatalf("split spec = %q,%q,%v", ds, col, err)
+	}
+	for _, bad := range []string{"tmall:split=", "tmall:shard=action", ":split=action"} {
+		if _, _, err := parseScenario(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+	var buf bytes.Buffer
+	// Unknown split column.
+	if err := run(context.Background(), []string{"-fit", "tmall:split=ghost", "-plan-out",
+		filepath.Join(t.TempDir(), "p.json")}, &buf, &buf); err == nil {
+		t.Error("unknown split column should fail")
+	}
+	// Numeric split column.
+	if err := run(context.Background(), []string{"-fit", "tmall:split=price", "-plan-out",
+		filepath.Join(t.TempDir(), "p.json")}, &buf, &buf); err == nil {
+		t.Error("numeric split column should fail")
+	}
+}
+
 // TestFitTransformFlagValidation covers the mode-flag error paths.
 func TestFitTransformFlagValidation(t *testing.T) {
 	var buf bytes.Buffer

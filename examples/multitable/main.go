@@ -1,26 +1,29 @@
-// Multitable demonstrates the Section III reductions: a four-table schema
-// (customers → orders → products → departments) is flattened into one
-// relevant table (deep-layer relationship), and a second independent log
-// table is handled through the multiple-relevant-tables decomposition with
-// AugmentMulti.
+// Multitable demonstrates the Section III reductions end to end through the
+// multi-table fit/transform lifecycle: a four-table schema (customers →
+// orders → products → departments) is flattened into one relevant table
+// (deep-layer relationship), a second independent log table joins it through
+// the multiple-relevant-tables decomposition, FitMulti searches both tables
+// concurrently and returns one serialisable MultiFeaturePlan, and the plan is
+// saved, reloaded and applied to a fresh batch of customers — the offline
+// search runs once, serving replays it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	repro "repro"
 	"repro/internal/dataframe"
 )
 
-func main() {
-	rng := rand.New(rand.NewSource(21))
-
-	// --- training table: customers ---
-	const n = 300
-	var custID, label []int64
-	var tenure []int64
+// customers generates n training rows; the returned affinity drives the
+// order generator, so fresh batches follow the same distribution.
+func customers(n int, rng *rand.Rand) (*dataframe.Table, []float64) {
+	var custID, label, tenure []int64
 	affinity := make([]float64, n)
 	for i := 0; i < n; i++ {
 		custID = append(custID, int64(i))
@@ -32,26 +35,19 @@ func main() {
 			label = append(label, 0)
 		}
 	}
-	customers := dataframe.MustNewTable(
+	return dataframe.MustNewTable(
 		dataframe.NewIntColumn("cust_id", custID, nil),
 		dataframe.NewIntColumn("tenure", tenure, nil),
 		dataframe.NewIntColumn("label", label, nil),
-	)
+	), affinity
+}
 
-	// --- orders (1:N from customers), products and departments (N:1 chains) ---
-	products := dataframe.MustNewTable(
-		dataframe.NewIntColumn("product_id", []int64{0, 1, 2, 3}, nil),
-		dataframe.NewStringColumn("pname", []string{"kindle", "tv", "apple", "bread"}, nil),
-		dataframe.NewIntColumn("dept_id", []int64{0, 0, 1, 1}, nil),
-	)
-	departments := dataframe.MustNewTable(
-		dataframe.NewIntColumn("dept_id", []int64{0, 1}, nil),
-		dataframe.NewStringColumn("dname", []string{"electronics", "grocery"}, nil),
-	)
+// orders generates the 1:N order log: electronics orders track affinity,
+// grocery orders are noise.
+func orders(n int, affinity []float64, rng *rand.Rand) *dataframe.Table {
 	var oCust, oProd []int64
 	var oAmt []float64
 	for i := 0; i < n; i++ {
-		// electronics orders track affinity; grocery orders are noise.
 		nElec := 0
 		if affinity[i] > 0 {
 			nElec = 1 + rng.Intn(3)
@@ -67,13 +63,15 @@ func main() {
 			oAmt = append(oAmt, 2+rng.Float64()*30)
 		}
 	}
-	orders := dataframe.MustNewTable(
+	return dataframe.MustNewTable(
 		dataframe.NewIntColumn("cust_id", oCust, nil),
 		dataframe.NewIntColumn("product_id", oProd, nil),
 		dataframe.NewFloatColumn("amount", oAmt, nil),
 	)
+}
 
-	// --- an independent second relevant table: support tickets ---
+// tickets generates the independent second relevant table.
+func tickets(n int, rng *rand.Rand) *dataframe.Table {
 	var tCust []int64
 	var tSev []float64
 	for i := 0; i < n; i++ {
@@ -82,15 +80,27 @@ func main() {
 			tSev = append(tSev, float64(1+rng.Intn(5)))
 		}
 	}
-	tickets := dataframe.MustNewTable(
+	return dataframe.MustNewTable(
 		dataframe.NewIntColumn("cust_id", tCust, nil),
 		dataframe.NewFloatColumn("severity", tSev, nil),
 	)
+}
 
-	// Flatten the deep-layer chain with the schema API.
+// flattenOrders runs the schema API over the deep-layer chain: orders gain
+// the product and department attributes through the N:1 joins.
+func flattenOrders(train, orderLog *dataframe.Table) *repro.RelevantTable {
+	products := dataframe.MustNewTable(
+		dataframe.NewIntColumn("product_id", []int64{0, 1, 2, 3}, nil),
+		dataframe.NewStringColumn("pname", []string{"kindle", "tv", "apple", "bread"}, nil),
+		dataframe.NewIntColumn("dept_id", []int64{0, 0, 1, 1}, nil),
+	)
+	departments := dataframe.MustNewTable(
+		dataframe.NewIntColumn("dept_id", []int64{0, 1}, nil),
+		dataframe.NewStringColumn("dname", []string{"electronics", "grocery"}, nil),
+	)
 	schema := repro.NewSchema()
 	for name, tbl := range map[string]*repro.Table{
-		"customers": customers, "orders": orders,
+		"customers": train, "orders": orderLog,
 		"products": products, "departments": departments,
 	} {
 		if err := schema.AddTable(name, tbl); err != nil {
@@ -113,28 +123,85 @@ func main() {
 	}
 	fmt.Printf("Flattened %d one-to-many scenario(s); %q has columns %v\n",
 		len(flattened), flattened[0].Name, flattened[0].Table.ColumnNames())
+	return &flattened[0]
+}
 
-	// Multi-relevant-table augmentation: flattened orders + raw tickets.
+func main() {
+	const n = 300
+	rng := rand.New(rand.NewSource(21))
+	train, affinity := customers(n, rng)
+	orderLog := orders(n, affinity, rng)
+	flat := flattenOrders(train, orderLog)
+	ticketLog := tickets(n, rng)
+	ctx := context.Background()
+
+	// --- fit: one concurrent FeatAug search per relevant table ---
 	base := repro.Problem{
-		Train: customers, Label: "label", Task: repro.TaskBinary,
+		Train: train, Label: "label", Task: repro.TaskBinary,
 		BaseFeatures: []string{"tenure"},
-		Relevant:     flattened[0].Table, Keys: flattened[0].Keys,
+		Relevant:     flat.Table, Keys: flat.Keys,
 	}
-	res, err := repro.AugmentMulti(base, repro.ModelXGB, repro.Config{
-		Seed: 21, NumTemplates: 2, QueriesPerTemplate: 2,
-		WarmupIters: 30, WarmupTopK: 6, GenIters: 8, MaxDepth: 2,
-	}, []repro.RelevantInput{
-		{Name: "orders", Table: flattened[0].Table, Keys: flattened[0].Keys,
+	inputs := []repro.RelevantInput{
+		{Name: "orders", Table: flat.Table, Keys: flat.Keys,
 			AggAttrs: []string{"amount"}, PredAttrs: []string{"dname", "pname"}},
-		{Name: "tickets", Table: tickets, Keys: []string{"cust_id"},
-			AggAttrs: []string{"severity"}},
+		{Name: "tickets", Table: ticketLog, Keys: []string{"cust_id"},
+			AggAttrs: []string{"severity"}}, // PredAttrs default to AggAttrs
+	}
+	plan, err := repro.FitMulti(ctx, base, inputs,
+		repro.WithConfig(repro.Config{
+			Seed: 21, NumTemplates: 2, QueriesPerTemplate: 2,
+			WarmupIters: 30, WarmupTopK: 6, GenIters: 8, MaxDepth: 2,
+		}),
+		repro.WithModel(repro.ModelXGB),
+		repro.WithSourceProgress(func(source string, stage repro.Stage, done, total int) {
+			if done == total {
+				fmt.Printf("fit[%s]: %s done\n", source, stage)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFitted %d queries across %d relevant tables:\n",
+		len(plan.NamedQueries()), len(plan.Sources))
+	for _, nq := range plan.NamedQueries() {
+		fmt.Printf("  [%s] %s\n", nq.Source, nq.Query.SQL(nq.Source))
+	}
+
+	// --- save: the plan round-trips through JSON ---
+	planPath := filepath.Join(os.TempDir(), "multitable_plan.json")
+	data, err := plan.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(planPath, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSaved plan (%d bytes) to %s\n", len(data), planPath)
+
+	// --- load: e.g. in a separate serving process ---
+	data, err = os.ReadFile(planPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := repro.DecodeMultiPlan(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- transform: a fresh batch of customers, no search ---
+	fresh, freshAffinity := customers(120, rng)
+	tr, err := loaded.Transformer(map[string]*repro.Table{
+		"orders":  flattenOrders(fresh, orders(120, freshAffinity, rng)).Table,
+		"tickets": tickets(120, rng),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nGenerated %d features across %d relevant tables:\n",
-		len(res.FeatureNames), len(res.PerTable))
-	for _, q := range res.Queries() {
-		fmt.Printf("  [%s] %s\n", q.Source, q.Query.SQL(q.Source))
+	augmented, err := tr.Transform(ctx, fresh)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nTransformed a fresh batch: %d rows x %d columns (+%d planned features)\n",
+		augmented.NumRows(), len(augmented.Columns()), len(tr.FeatureNames()))
+	fmt.Printf("Merged executor stats: %s\n", tr.Stats())
 }

@@ -41,6 +41,16 @@
 //	tr, _ := plan.Transformer(r)
 //	augmented, err := tr.Transform(ctx, freshBatch)
 //
+// Multi-relevant-table scenarios (Section III's decomposition) follow the
+// same lifecycle: FitMulti searches every relevant table concurrently and
+// returns a MultiFeaturePlan (one FeaturePlan section per source, with schema
+// fingerprints), which binds to its tables by name and transforms through
+// per-source cached executors:
+//
+//	mp, _ := repro.FitMulti(ctx, base, inputs, repro.WithModel(repro.ModelXGB))
+//	mtr, _ := mp.Transformer(repro.RelevantsByName(inputs))
+//	augmented, err = mtr.Transform(ctx, freshBatch)
+//
 // Fit is configured with functional options (WithModel, WithAggFuncs,
 // WithSeed, WithProxy, WithConfig, WithProgress), long searches are
 // cancellable through the context, and failure modes surface as typed
@@ -121,6 +131,14 @@ type (
 	PlannedQuery = feataug.PlannedQuery
 	// Transformer applies a fitted FeaturePlan to new tables.
 	Transformer = feataug.Transformer
+	// MultiFeaturePlan is the serialisable outcome of a FitMulti run: one
+	// FeaturePlan section per relevant table, with source names and schema
+	// fingerprints.
+	MultiFeaturePlan = feataug.MultiFeaturePlan
+	// PlanSource is one relevant table's section of a MultiFeaturePlan.
+	PlanSource = feataug.PlanSource
+	// MultiTransformer applies a fitted MultiFeaturePlan to new tables.
+	MultiTransformer = feataug.MultiTransformer
 	// Option configures a Fit call.
 	Option = feataug.Option
 	// Stage identifies one phase of a run for WithProgress callbacks.
@@ -129,6 +147,10 @@ type (
 
 // PlanVersion is the FeaturePlan serialisation version this build writes.
 const PlanVersion = feataug.PlanVersion
+
+// MultiPlanVersion is the MultiFeaturePlan serialisation version this build
+// writes.
+const MultiPlanVersion = feataug.MultiPlanVersion
 
 // Progress stages, in execution order.
 const (
@@ -140,13 +162,16 @@ const (
 
 // Sentinel errors of the fit/transform lifecycle; test with errors.Is.
 var (
-	ErrNoTemplates    = feataug.ErrNoTemplates
-	ErrNoQueries      = feataug.ErrNoQueries
-	ErrKeyMismatch    = feataug.ErrKeyMismatch
-	ErrSchemaMismatch = feataug.ErrSchemaMismatch
-	ErrPlanVersion    = feataug.ErrPlanVersion
-	ErrEmptyPlan      = feataug.ErrEmptyPlan
-	ErrNilTable       = feataug.ErrNilTable
+	ErrNoTemplates     = feataug.ErrNoTemplates
+	ErrNoQueries       = feataug.ErrNoQueries
+	ErrKeyMismatch     = feataug.ErrKeyMismatch
+	ErrSchemaMismatch  = feataug.ErrSchemaMismatch
+	ErrPlanVersion     = feataug.ErrPlanVersion
+	ErrEmptyPlan       = feataug.ErrEmptyPlan
+	ErrNilTable        = feataug.ErrNilTable
+	ErrEmptySource     = feataug.ErrEmptySource
+	ErrDuplicateSource = feataug.ErrDuplicateSource
+	ErrMissingSource   = feataug.ErrMissingSource
 )
 
 // WithModel selects the downstream model family (default XGB).
@@ -173,6 +198,12 @@ func WithProgress(fn func(stage Stage, done, total int)) Option {
 // WithLogf registers a printf-style progress logger.
 func WithLogf(logf func(format string, args ...interface{})) Option {
 	return feataug.WithLogf(logf)
+}
+
+// WithSourceProgress registers a FitMulti progress callback carrying the
+// relevant-table name alongside the stage counters.
+func WithSourceProgress(fn func(source string, stage Stage, done, total int)) Option {
+	return feataug.WithSourceProgress(fn)
 }
 
 // Fit runs the complete FeatAug search on a problem and returns the learned
@@ -323,10 +354,12 @@ const (
 // NewSchema builds an empty multi-table schema.
 func NewSchema() *Schema { return relschema.NewSchema() }
 
-// AugmentMulti runs FeatAug once per relevant table and merges every
-// generated feature onto one training table (the paper's multiple-relevant-
-// tables decomposition). Use AugmentMultiContext to make the search
-// cancellable.
+// AugmentMulti runs FeatAug once per relevant table (concurrently) and merges
+// every generated feature onto one training table (the paper's multiple-
+// relevant-tables decomposition). It is a thin wrapper over FitMulti followed
+// by MultiFeaturePlan.Transformer + Transform on the training table, so its
+// output is bit-identical to the fit/save/load/transform path. Use
+// AugmentMultiContext to make the search cancellable.
 func AugmentMulti(base Problem, model ModelKind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
 	return feataug.AugmentMulti(context.Background(), base, model, cfg, inputs)
 }
@@ -335,6 +368,27 @@ func AugmentMulti(base Problem, model ModelKind, cfg Config, inputs []RelevantIn
 // per-table searches between evaluations.
 func AugmentMultiContext(ctx context.Context, base Problem, model ModelKind, cfg Config, inputs []RelevantInput) (*MultiResult, error) {
 	return feataug.AugmentMulti(ctx, base, model, cfg, inputs)
+}
+
+// FitMulti runs the complete FeatAug search once per relevant table — the
+// per-table searches run concurrently, each under a deterministic seed
+// derived from the configured seed and the source name — and returns the
+// learned MultiFeaturePlan, one serialisable FeaturePlan section per source.
+func FitMulti(ctx context.Context, base Problem, inputs []RelevantInput, opts ...Option) (*MultiFeaturePlan, error) {
+	return feataug.FitMulti(ctx, base, inputs, opts...)
+}
+
+// DecodeMultiPlan deserialises a MultiFeaturePlan produced by
+// MultiFeaturePlan.Encode, rejecting incompatible versions with
+// ErrPlanVersion.
+func DecodeMultiPlan(data []byte) (*MultiFeaturePlan, error) {
+	return feataug.DecodeMultiPlan(data)
+}
+
+// RelevantsByName maps a multi-table input set by source name — the binding
+// MultiFeaturePlan.Transformer takes.
+func RelevantsByName(inputs []RelevantInput) map[string]*Table {
+	return feataug.RelevantsByName(inputs)
 }
 
 // ParseSQL parses a predicate-aware SQL query in the paper's canonical form

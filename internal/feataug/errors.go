@@ -25,4 +25,13 @@ var (
 	ErrEmptyPlan = errors.New("feataug: feature plan has no queries")
 	// ErrNilTable reports a nil table argument.
 	ErrNilTable = errors.New("feataug: nil table")
+	// ErrEmptySource reports a multi-table input with an empty Name — names
+	// scope feature columns (<name>_feataug_<i>), so they must be non-empty.
+	ErrEmptySource = errors.New("feataug: relevant table with empty name")
+	// ErrDuplicateSource reports two multi-table inputs sharing a Name, which
+	// would generate colliding feature columns.
+	ErrDuplicateSource = errors.New("feataug: duplicate relevant table name")
+	// ErrMissingSource reports a transform binding that has no relevant table
+	// for one of the plan's sources.
+	ErrMissingSource = errors.New("feataug: no relevant table bound for plan source")
 )

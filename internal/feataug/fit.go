@@ -13,6 +13,9 @@ type fitOptions struct {
 	model ml.Kind
 	funcs []agg.Func
 	cfg   Config
+	// sourceProgress, when set, receives FitMulti's per-table progress with
+	// the source name attached; single-table Fit ignores it.
+	sourceProgress func(source string, stage Stage, done, total int)
 }
 
 // Option configures a Fit call. Options are applied in order, so a later
@@ -60,6 +63,15 @@ func WithProgress(fn func(stage Stage, done, total int)) Option {
 // WithLogf registers a printf-style progress logger.
 func WithLogf(logf func(format string, args ...interface{})) Option {
 	return func(o *fitOptions) { o.cfg.Logf = logf }
+}
+
+// WithSourceProgress registers a progress callback for FitMulti carrying the
+// relevant-table name alongside the stage counters, so concurrent per-table
+// searches report unambiguously. When set it replaces WithProgress for the
+// multi-table path; callbacks are serialised across tables, so fn needs no
+// locking of its own. Single-table Fit ignores it.
+func WithSourceProgress(fn func(source string, stage Stage, done, total int)) Option {
+	return func(o *fitOptions) { o.sourceProgress = fn }
 }
 
 // Fit runs the complete FeatAug search (query template identification

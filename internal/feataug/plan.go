@@ -206,14 +206,7 @@ func (t *Transformer) Transform(ctx context.Context, d *dataframe.Table) (*dataf
 	if d == nil {
 		return nil, fmt.Errorf("%w: transform input", ErrNilTable)
 	}
-	for _, q := range t.queries {
-		for _, k := range q.Keys {
-			if !d.HasColumn(k) {
-				return nil, fmt.Errorf("%w: input table has no key column %q", ErrKeyMismatch, k)
-			}
-		}
-	}
-	vals, valid, err := t.exec.AugmentValuesBatchContext(ctx, d, t.queries)
+	vals, valid, err := t.values(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -224,4 +217,26 @@ func (t *Transformer) Transform(ctx context.Context, d *dataframe.Table) (*dataf
 		}
 	}
 	return out, nil
+}
+
+// checkKeys verifies d carries every join key the transformer's queries
+// group by, returning ErrKeyMismatch otherwise.
+func (t *Transformer) checkKeys(d *dataframe.Table) error {
+	for _, q := range t.queries {
+		for _, k := range q.Keys {
+			if !d.HasColumn(k) {
+				return fmt.Errorf("%w: input table has no key column %q", ErrKeyMismatch, k)
+			}
+		}
+	}
+	return nil
+}
+
+// values materialises the planned feature vectors for d without assembling an
+// output table — the shared core of Transform and MultiTransformer.Transform.
+func (t *Transformer) values(ctx context.Context, d *dataframe.Table) ([][]float64, [][]bool, error) {
+	if err := t.checkKeys(d); err != nil {
+		return nil, nil, err
+	}
+	return t.exec.AugmentValuesBatchContext(ctx, d, t.queries)
 }

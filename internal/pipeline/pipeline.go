@@ -31,6 +31,19 @@ type Problem struct {
 	BaseFeatures []string
 }
 
+// Normalized returns a copy of the problem with the defaulting rules applied:
+// empty PredAttrs defaults to AggAttrs (Section IV's template quadruple always
+// has a predicate-attribute set; aggregation attributes are the natural
+// fallback). This is the single place the rule lives — NewEvaluator applies
+// it, so the single-table Fit path and the multi-table FitMulti/AugmentMulti
+// path behave identically.
+func (p Problem) Normalized() Problem {
+	if len(p.PredAttrs) == 0 && len(p.AggAttrs) > 0 {
+		p.PredAttrs = append([]string(nil), p.AggAttrs...)
+	}
+	return p
+}
+
 // Validate checks the problem is internally consistent: tables present, the
 // label on the training side only, keys on both sides, and every template
 // ingredient (aggregation and predicate attributes) present in the relevant
@@ -146,8 +159,11 @@ type cachedFeature struct {
 	valid []bool
 }
 
-// NewEvaluator constructs an evaluator for a problem/model pair.
+// NewEvaluator constructs an evaluator for a problem/model pair. The problem
+// is normalized first (Normalized), so empty PredAttrs default to AggAttrs
+// uniformly across every entry point built on an evaluator.
 func NewEvaluator(p Problem, model ml.Kind, seed int64) (*Evaluator, error) {
+	p = p.Normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/agg"
@@ -62,6 +63,36 @@ func TestProblemValidate(t *testing.T) {
 	bad.BaseFeatures = append([]string{bad.Label}, p.BaseFeatures...)
 	if bad.Validate() == nil {
 		t.Error("label listed as base feature should fail (target leak)")
+	}
+}
+
+func TestProblemNormalized(t *testing.T) {
+	p := tmallProblem(t)
+	p.PredAttrs = nil
+	n := p.Normalized()
+	if !reflect.DeepEqual(n.PredAttrs, p.AggAttrs) {
+		t.Fatalf("empty PredAttrs should default to AggAttrs, got %v", n.PredAttrs)
+	}
+	if len(p.PredAttrs) != 0 {
+		t.Fatal("Normalized mutated the receiver")
+	}
+	// Explicit PredAttrs are left alone, and the defaulted slice is a copy.
+	explicit := tmallProblem(t).Normalized()
+	if !reflect.DeepEqual(explicit.PredAttrs, tmallProblem(t).PredAttrs) {
+		t.Fatal("non-empty PredAttrs should be untouched")
+	}
+	n.PredAttrs[0] = "mutated"
+	if p.AggAttrs[0] == "mutated" {
+		t.Fatal("defaulted PredAttrs aliases AggAttrs")
+	}
+	// NewEvaluator applies the rule, so an evaluator built from an empty
+	// PredAttrs problem carries the defaulted set.
+	ev, err := NewEvaluator(p, ml.KindLR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ev.P.PredAttrs, p.AggAttrs) {
+		t.Fatalf("evaluator PredAttrs = %v, want defaulted AggAttrs", ev.P.PredAttrs)
 	}
 }
 

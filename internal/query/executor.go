@@ -74,6 +74,26 @@ type ExecutorStats struct {
 	Evictions              int64 // whole-cache drops across bounded caches
 }
 
+// Add returns the field-wise sum of two snapshots. Multi-table transformers
+// run one executor per relevant table and report the merged counters.
+func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
+	s.GroupHits += o.GroupHits
+	s.GroupMisses += o.GroupMisses
+	s.PredHits += o.PredHits
+	s.PredMisses += o.PredMisses
+	s.MaskHits += o.MaskHits
+	s.MaskMisses += o.MaskMisses
+	s.PlanHits += o.PlanHits
+	s.PlanMisses += o.PlanMisses
+	s.JoinHits += o.JoinHits
+	s.JoinMisses += o.JoinMisses
+	s.FusedScans += o.FusedScans
+	s.FusedQueries += o.FusedQueries
+	s.CoreQueries += o.CoreQueries
+	s.Evictions += o.Evictions
+	return s
+}
+
 // String renders the snapshot as one compact log line.
 func (s ExecutorStats) String() string {
 	return fmt.Sprintf(
