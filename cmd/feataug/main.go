@@ -567,7 +567,18 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, s
 	fmt.Fprintf(stderr, "transform: %d rows x %d columns (+%d planned features)\n",
 		augmented.NumRows(), len(augmented.Columns()), nfeats)
 	if fo.verbose {
-		fmt.Fprintf(stderr, "transform: executor stats: %s\n", stats())
+		s := stats()
+		fmt.Fprintf(stderr, "transform: executor stats: %s\n", s)
+		// The serving-side fusion counters, spelled out: how many feature
+		// columns each training-table pass served, and how often the shared
+		// train-side join index was reused across executors.
+		passes := s.ScatterPasses
+		if passes == 0 {
+			passes = 1
+		}
+		fmt.Fprintf(stderr, "transform: scatter: %d columns over %d passes (%.1f cols/pass), shared join index %d hits / %d misses, %d counting sorts\n",
+			s.ScatterQueries, s.ScatterPasses, float64(s.ScatterQueries)/float64(passes),
+			s.SharedJoinHits, s.SharedJoinMisses, s.CountingScans)
 	}
 	return augmented.WriteCSV(out)
 }

@@ -102,11 +102,28 @@ type (
 	// ExecutorStats is a snapshot of an Executor's cache and fused-scan
 	// counters (Executor.Stats), for perf observability.
 	ExecutorStats = query.ExecutorStats
+	// ExecutorOption configures NewExecutor (e.g. WithJoinCache).
+	ExecutorOption = query.ExecutorOption
+	// JoinCache shares train-side join indexes across executors; executors
+	// default to one process-level instance, so any two executors joining
+	// features onto the same training table build its group index once.
+	JoinCache = query.JoinCache
+	// FeatureMatrix is the columnar bulk output of Executor.AugmentMatrix:
+	// every feature column of a batch in one flat column-major buffer.
+	FeatureMatrix = query.FeatureMatrix
 )
 
 // NewExecutor builds a batch executor over one relevant table. Evaluators
 // construct their own internally; use this to run query batches directly.
-func NewExecutor(r *Table) *Executor { return query.NewExecutor(r) }
+func NewExecutor(r *Table, opts ...ExecutorOption) *Executor { return query.NewExecutor(r, opts...) }
+
+// NewJoinCache builds an empty train-side join-index cache for executors that
+// must not share with the process-level default.
+func NewJoinCache() *JoinCache { return query.NewJoinCache() }
+
+// WithJoinCache makes an executor share train-side join indexes through the
+// given cache instead of the process-level default.
+func WithJoinCache(c *JoinCache) ExecutorOption { return query.WithJoinCache(c) }
 
 // FeatAug engine.
 type (

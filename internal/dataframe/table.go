@@ -2,8 +2,10 @@ package dataframe
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Table is an ordered collection of equally sized columns.
@@ -11,6 +13,7 @@ type Table struct {
 	cols  []*Column
 	index map[string]int
 	nrows int
+	fp    atomic.Uint64 // lazily assigned identity fingerprint; 0 = unassigned
 }
 
 // NewTable builds a table from columns, which must share a length and have
@@ -82,6 +85,58 @@ func (t *Table) AddColumn(c *Column) error {
 	}
 	t.index[c.name] = len(t.cols)
 	t.cols = append(t.cols, c)
+	return nil
+}
+
+// fingerprints hands out process-unique table identity tokens.
+var fingerprints atomic.Uint64
+
+// Fingerprint returns a process-unique identity token for the table, assigned
+// lazily on first call and stable for the table's lifetime. Two distinct
+// Table values never share a fingerprint, and derived tables (Take, Clone,
+// ...) get identities of their own, so the token is safe to use as the key of
+// cross-executor caches over table-derived artefacts (the train-side join
+// index cache keys on it). Tables used that way must not be mutated after the
+// first keyed use — the same contract executors already impose.
+func (t *Table) Fingerprint() uint64 {
+	if v := t.fp.Load(); v != 0 {
+		return v
+	}
+	next := fingerprints.Add(1)
+	if t.fp.CompareAndSwap(0, next) {
+		return next
+	}
+	return t.fp.Load()
+}
+
+// AddFloatColumnsFlat appends len(names) float columns backed by one flat
+// column-major buffer: column j is vals[j*n : (j+1)*n] with validity
+// valid[j*n : (j+1)*n], where n is the table's row count. The buffers are
+// adopted, not copied (the bulk counterpart of AddColumn + NewFloatColumn for
+// columnar batch outputs such as a feature matrix): NaN values are marked
+// null in place, and callers must not reuse the buffers afterwards. On an
+// empty table the row count is inferred from len(vals)/len(names).
+func (t *Table) AddFloatColumnsFlat(names []string, vals []float64, valid []bool) error {
+	n := t.nrows
+	if len(t.cols) == 0 && len(names) > 0 {
+		n = len(vals) / len(names)
+	}
+	if len(vals) != n*len(names) || len(valid) != n*len(names) {
+		return fmt.Errorf("dataframe: flat buffer holds %d values, want %d columns x %d rows",
+			len(vals), len(names), n)
+	}
+	for j, name := range names {
+		v := vals[j*n : (j+1)*n : (j+1)*n]
+		ok := valid[j*n : (j+1)*n : (j+1)*n]
+		for i, x := range v {
+			if math.IsNaN(x) {
+				ok[i] = false
+			}
+		}
+		if err := t.AddColumn(&Column{name: name, kind: KindFloat, floats: v, valid: ok}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

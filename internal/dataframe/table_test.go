@@ -1,6 +1,7 @@
 package dataframe
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -178,5 +179,67 @@ func TestPropertyFilterExtremes(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestTableFingerprint(t *testing.T) {
+	a := MustNewTable(NewIntColumn("k", []int64{1, 2}, nil))
+	b := MustNewTable(NewIntColumn("k", []int64{1, 2}, nil))
+	if a.Fingerprint() == 0 || b.Fingerprint() == 0 {
+		t.Fatal("fingerprints must be non-zero")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct tables share a fingerprint")
+	}
+	// Derived tables are new identities.
+	if c := a.Clone(); c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("Clone shares the source fingerprint")
+	}
+	if tk := a.Take([]int{0}); tk.Fingerprint() == a.Fingerprint() {
+		t.Fatal("Take shares the source fingerprint")
+	}
+}
+
+func TestAddFloatColumnsFlat(t *testing.T) {
+	tbl := MustNewTable(NewIntColumn("k", []int64{1, 2, 3}, nil))
+	vals := []float64{1, 2, 3, 4, math.NaN(), 6}
+	valid := []bool{true, false, true, true, true, true}
+	if err := tbl.AddFloatColumnsFlat([]string{"f0", "f1"}, vals, valid); err != nil {
+		t.Fatal(err)
+	}
+	f0, f1 := tbl.Column("f0"), tbl.Column("f1")
+	if f0 == nil || f1 == nil {
+		t.Fatal("columns not appended")
+	}
+	if got, _ := f0.AsFloat(0); got != 1 {
+		t.Fatalf("f0[0] = %v, want 1", got)
+	}
+	if !f0.IsNull(1) {
+		t.Fatal("f0[1] should be NULL (valid=false)")
+	}
+	if !f1.IsNull(1) {
+		t.Fatal("f1[1] should be NULL (NaN)")
+	}
+	if got, _ := f1.AsFloat(2); got != 6 {
+		t.Fatalf("f1[2] = %v, want 6", got)
+	}
+	// Shape mismatch fails before any column lands.
+	fresh := MustNewTable(NewIntColumn("k", []int64{1, 2, 3}, nil))
+	if err := fresh.AddFloatColumnsFlat([]string{"a", "b"}, make([]float64, 5), make([]bool, 5)); err == nil {
+		t.Fatal("want error on flat buffer / shape mismatch")
+	}
+	if fresh.NumCols() != 1 {
+		t.Fatal("failed bulk append mutated the table")
+	}
+	// Empty table infers its row count from the buffer.
+	empty := MustNewTable()
+	if err := empty.AddFloatColumnsFlat([]string{"a", "b"}, make([]float64, 8), make([]bool, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 4 || empty.NumCols() != 2 {
+		t.Fatalf("empty-table bulk append: %d rows x %d cols, want 4 x 2", empty.NumRows(), empty.NumCols())
 	}
 }

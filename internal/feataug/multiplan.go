@@ -208,6 +208,10 @@ func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Tabl
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// One join cache across every per-source executor: the sources serve
+	// shards of one training table, so the train-side join index is built
+	// once per (training table, key-set) instead of once per source.
+	joins := query.NewJoinCache()
 	mt := &MultiTransformer{plan: p}
 	for i := range p.Sources {
 		src := &p.Sources[i]
@@ -218,7 +222,7 @@ func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Tabl
 		if tbl == nil {
 			return nil, fmt.Errorf("%w: relevant table %q", ErrNilTable, src.Name)
 		}
-		tr, err := src.Plan.Transformer(tbl)
+		tr, err := src.Plan.Transformer(tbl, query.WithJoinCache(joins))
 		if err != nil {
 			return nil, fmt.Errorf("feataug: source %q: %w", src.Name, err)
 		}
@@ -275,15 +279,14 @@ func (t *MultiTransformer) Transform(ctx context.Context, d *dataframe.Table) (*
 	out := d.Clone()
 	for i, tr := range t.sources {
 		// Keys were checked once above for every source; go straight to the
-		// executor batch.
-		vals, valid, err := tr.exec.AugmentValuesBatchContext(ctx, d, tr.queries)
+		// executor's columnar bulk batch. Each source's features arrive in
+		// one flat buffer and append in bulk.
+		m, err := tr.exec.AugmentMatrixContext(ctx, d, tr.queries)
 		if err != nil {
 			return nil, fmt.Errorf("feataug: source %q: %w", t.plan.Sources[i].Name, err)
 		}
-		for j, pq := range tr.plan.Queries {
-			if err := out.AddColumn(dataframe.NewFloatColumn(pq.Feature, vals[j], valid[j])); err != nil {
-				return nil, err
-			}
+		if err := out.AddFloatColumnsFlat(tr.plan.FeatureNames(), m.Vals, m.Valid); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -146,8 +146,11 @@ func (p *FeaturePlan) FeatureNames() []string {
 // aggregation and predicate attributes (ErrSchemaMismatch otherwise). The
 // returned Transformer shares one batch query executor across every
 // Transform call, so group indexes and predicate bitmaps are built once and
-// reused across batches — the serving fast path.
-func (p *FeaturePlan) Transformer(relevant *dataframe.Table) (*Transformer, error) {
+// reused across batches — the serving fast path. Executor options (e.g.
+// query.WithJoinCache) are forwarded to the underlying executor;
+// MultiFeaturePlan.Transformer threads one shared join cache through every
+// per-source executor this way.
+func (p *FeaturePlan) Transformer(relevant *dataframe.Table, opts ...query.ExecutorOption) (*Transformer, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -169,9 +172,16 @@ func (p *FeaturePlan) Transformer(relevant *dataframe.Table) (*Transformer, erro
 			}
 		}
 	}
+	// Default to a transformer-scoped join cache: a single-table transformer
+	// has one executor (whose own join entries already cache repeat tables),
+	// so the process-level cache would only accumulate indexes of discarded
+	// batch tables. Callers that do share — MultiFeaturePlan threads one
+	// cache across its sources — pass their own option, which applies later
+	// and wins.
+	opts = append([]query.ExecutorOption{query.WithJoinCache(query.NewJoinCache())}, opts...)
 	return &Transformer{
 		plan:    p,
-		exec:    query.NewExecutor(relevant),
+		exec:    query.NewExecutor(relevant, opts...),
 		queries: p.QueryList(),
 	}, nil
 }
@@ -206,15 +216,13 @@ func (t *Transformer) Transform(ctx context.Context, d *dataframe.Table) (*dataf
 	if d == nil {
 		return nil, fmt.Errorf("%w: transform input", ErrNilTable)
 	}
-	vals, valid, err := t.values(ctx, d)
+	m, err := t.matrix(ctx, d)
 	if err != nil {
 		return nil, err
 	}
 	out := d.Clone()
-	for i, pq := range t.plan.Queries {
-		if err := out.AddColumn(dataframe.NewFloatColumn(pq.Feature, vals[i], valid[i])); err != nil {
-			return nil, err
-		}
+	if err := out.AddFloatColumnsFlat(t.plan.FeatureNames(), m.Vals, m.Valid); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -232,11 +240,12 @@ func (t *Transformer) checkKeys(d *dataframe.Table) error {
 	return nil
 }
 
-// values materialises the planned feature vectors for d without assembling an
-// output table — the shared core of Transform and MultiTransformer.Transform.
-func (t *Transformer) values(ctx context.Context, d *dataframe.Table) ([][]float64, [][]bool, error) {
+// matrix materialises the planned feature vectors for d as one columnar bulk
+// buffer without assembling an output table — the shared core of Transform
+// and MultiTransformer.Transform.
+func (t *Transformer) matrix(ctx context.Context, d *dataframe.Table) (*query.FeatureMatrix, error) {
 	if err := t.checkKeys(d); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return t.exec.AugmentValuesBatchContext(ctx, d, t.queries)
+	return t.exec.AugmentMatrixContext(ctx, d, t.queries)
 }

@@ -57,44 +57,71 @@ func (d *Dataset) NumFeatures() int {
 // FromTable materialises a numeric dataset from a dataframe table: the named
 // feature columns are coerced to float (strings become ordinal codes) and
 // NULLs are imputed with the column mean (0 when a column is entirely NULL).
-// The label column must be numeric and non-null everywhere.
+// The label column must be numeric and non-null everywhere. It is the table
+// front end of FromColumns, so both assembly paths share one imputation rule.
 func FromTable(t *dataframe.Table, features []string, label string) (*Dataset, error) {
 	lcol := t.Column(label)
 	if lcol == nil {
 		return nil, fmt.Errorf("ml: no label column %q", label)
 	}
-	n := t.NumRows()
+	cols := make([][]float64, len(features))
+	valids := make([][]bool, len(features))
+	for j, name := range features {
+		col := t.Column(name)
+		if col == nil {
+			return nil, fmt.Errorf("ml: no feature column %q", name)
+		}
+		cols[j], valids[j] = col.Floats()
+	}
+	return FromColumns(features, cols, valids, lcol)
+}
+
+// FromColumns materialises a dataset straight from feature vectors — the
+// columnar fast path FromTable reduces to once a table exists. cols[j] and
+// valids[j] are feature j's values and validity (a nil valids[j] means all
+// present); NULLs are imputed with the column mean exactly as FromTable
+// imputes them. The label column must be numeric and non-null everywhere.
+// Query-engine batch outputs (query.FeatureMatrix column views) feed this
+// directly, skipping the intermediate table clone and per-column copies.
+func FromColumns(features []string, cols [][]float64, valids [][]bool, label *dataframe.Column) (*Dataset, error) {
+	if len(cols) != len(features) || len(valids) != len(features) {
+		return nil, fmt.Errorf("ml: %d feature names, %d value columns, %d validity columns", len(features), len(cols), len(valids))
+	}
+	if label == nil {
+		return nil, fmt.Errorf("ml: no label column")
+	}
+	n := label.Len()
 	y := make([]float64, n)
 	for i := 0; i < n; i++ {
-		v, ok := lcol.AsFloat(i)
+		v, ok := label.AsFloat(i)
 		if !ok {
 			return nil, fmt.Errorf("ml: NULL label at row %d", i)
 		}
 		y[i] = v
 	}
 	x := make([][]float64, n)
+	flat := make([]float64, n*len(features))
 	for i := range x {
-		x[i] = make([]float64, len(features))
+		x[i] = flat[i*len(features) : (i+1)*len(features) : (i+1)*len(features)]
 	}
-	for j, name := range features {
-		col := t.Column(name)
-		if col == nil {
-			return nil, fmt.Errorf("ml: no feature column %q", name)
+	for j := range features {
+		vals, valid := cols[j], valids[j]
+		if len(vals) != n || (valid != nil && len(valid) != n) {
+			return nil, fmt.Errorf("ml: feature %q has %d rows, label has %d", features[j], len(vals), n)
 		}
-		vals, valid := col.Floats()
 		mean, cnt := 0.0, 0
-		for i := range vals {
-			if valid[i] {
-				mean += vals[i]
+		for i, v := range vals {
+			if valid == nil || valid[i] {
+				mean += v
 				cnt++
 			}
 		}
 		if cnt > 0 {
 			mean /= float64(cnt)
 		}
-		for i := range vals {
-			if valid[i] {
-				x[i][j] = vals[i]
+		for i, v := range vals {
+			if valid == nil || valid[i] {
+				x[i][j] = v
 			} else {
 				x[i][j] = mean
 			}

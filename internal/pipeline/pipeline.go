@@ -223,12 +223,15 @@ func (e *Evaluator) FeatureBatchContext(ctx context.Context, qs []query.Query) (
 		missQs = append(missQs, q)
 	}
 	if len(missQs) > 0 {
-		vals, valid, err := e.exec.AugmentValuesBatchContext(ctx, e.P.Train, missQs)
+		// Columnar bulk materialisation: one flat buffer for the whole miss
+		// set; the cache holds views into it.
+		m, err := e.exec.AugmentMatrixContext(ctx, e.P.Train, missQs)
 		if err != nil {
 			return nil, nil, err
 		}
 		for i := range missQs {
-			e.featCache[missKeys[i]] = cachedFeature{vals: vals[i], valid: valid[i]}
+			vals, valid := m.Col(i)
+			e.featCache[missKeys[i]] = cachedFeature{vals: vals, valid: valid}
 		}
 	}
 	outVals := make([][]float64, len(qs))
@@ -341,24 +344,40 @@ func (e *Evaluator) FeatureSetScores(tbl *dataframe.Table, features []string) (v
 	return scores[0], scores[1], nil
 }
 
-// QuerySetScores materialises all queries as feature columns on a copy of the
-// training table — in one fused executor batch rather than query by query —
-// and evaluates the set.
+// QuerySetScores materialises all queries as feature vectors — in one fused
+// executor batch rather than query by query — and evaluates base features
+// plus the whole set. The dataset is assembled columnar (ml.FromColumns over
+// the batch's feature views), skipping the training-table clone and
+// per-column table copies the table path pays.
 func (e *Evaluator) QuerySetScores(qs []query.Query) (validMetric, testMetric float64, err error) {
-	tbl := e.P.Train.Clone()
 	vals, valid, err := e.FeatureBatch(qs)
 	if err != nil {
 		return 0, 0, err
 	}
-	names := make([]string, 0, len(qs))
-	for i := range qs {
-		name := fmt.Sprintf("feat_%d", i)
-		if err := tbl.AddColumn(dataframe.NewFloatColumn(name, vals[i], valid[i])); err != nil {
-			return 0, 0, err
+	names := make([]string, 0, len(e.P.BaseFeatures)+len(qs))
+	cols := make([][]float64, 0, cap(names))
+	valids := make([][]bool, 0, cap(names))
+	for _, base := range e.P.BaseFeatures {
+		col := e.P.Train.Column(base)
+		if col == nil {
+			return 0, 0, fmt.Errorf("ml: no feature column %q", base)
 		}
-		names = append(names, name)
+		v, ok := col.Floats()
+		names, cols, valids = append(names, base), append(cols, v), append(valids, ok)
 	}
-	return e.FeatureSetScores(tbl, names)
+	for i := range qs {
+		names = append(names, fmt.Sprintf("feat_%d", i))
+		cols, valids = append(cols, vals[i]), append(valids, valid[i])
+	}
+	ds, err := ml.FromColumns(names, cols, valids, e.P.Train.Column(e.P.Label))
+	if err != nil {
+		return 0, 0, err
+	}
+	_, scores, err := e.scoreDataset(ds, e.Model)
+	if err != nil {
+		return 0, 0, err
+	}
+	return scores[0], scores[1], nil
 }
 
 // fitAndScore runs the full protocol once: build dataset, split, fit,
@@ -368,6 +387,12 @@ func (e *Evaluator) fitAndScore(tbl *dataframe.Table, features []string, kind ml
 	if err != nil {
 		return 0, [2]float64{}, err
 	}
+	return e.scoreDataset(ds, kind)
+}
+
+// scoreDataset is the post-assembly half of the protocol, shared by the
+// table path (fitAndScore) and the columnar path (QuerySetScores).
+func (e *Evaluator) scoreDataset(ds *ml.Dataset, kind ml.Kind) (float64, [2]float64, error) {
 	split, err := ml.SplitDataset(ds, e.TrainFrac, e.ValidFrac, e.Seed)
 	if err != nil {
 		return 0, [2]float64{}, err

@@ -1,0 +1,193 @@
+package query
+
+// The counting path for the fused per-group sort. Sorting dominates the fused
+// profile whenever a plan group requests order-statistics aggregates (MEDIAN,
+// MAD, MODE, ENTROPY, COUNT_DISTINCT): every group's value segment is
+// comparison-sorted. Many aggregation attributes have tiny domains — category
+// strings, small-int codes, bools — where a counting/bucket rewrite produces
+// the identical ascending segment in O(len + distinct·log distinct) with no
+// comparisons. A cardinality probe runs once per (executor, column) and is
+// cached; eligible attributes are selected per attrScan. Eligibility is
+// restricted to domains whose values round-trip exactly through float64
+// (strings via a dictionary; int/time/bool with a small range and |value| ≤
+// 2³¹), so rewritten segments are bit-identical to the sorted originals.
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/dataframe"
+)
+
+// maxCountingDomain bounds the code domain (distinct strings, or the numeric
+// range width) the counting path accepts; larger domains fall back to the
+// comparison sort.
+const maxCountingDomain = 1024
+
+// maxCountingAbs bounds |value| for numeric domains so float64(base+code)
+// reconstructs the column's float view bit for bit.
+const maxCountingAbs = int64(1) << 31
+
+// domainEntry is the cached cardinality probe of one aggregation attribute.
+// All fields are read-only after the once completes.
+type domainEntry struct {
+	once  sync.Once
+	ok    bool     // eligible for the counting path
+	k     int      // code domain size: codes are 0..k-1
+	base  int64    // numeric columns: code = int64(value) - base
+	svals []string // string columns: distinct values ascending; code = rank
+	codes []int32  // string columns: per-row code (unspecified at NULL rows)
+}
+
+// countingScan bumps the counting-path counter (one attrScan whose per-group
+// sort ran through the counting rewrite).
+func (e *Executor) countingScan() {
+	e.mu.Lock()
+	e.stats.CountingScans++
+	e.mu.Unlock()
+}
+
+// domain returns the cached probe for col, running it on first use.
+func (e *Executor) domain(col *dataframe.Column) *domainEntry {
+	e.mu.Lock()
+	if e.domains == nil {
+		e.domains = map[string]*domainEntry{}
+	}
+	ent, ok := e.domains[col.Name()]
+	if !ok {
+		ent = &domainEntry{}
+		e.domains[col.Name()] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.probe(col) })
+	return ent
+}
+
+// probe scans the column once and decides counting-path eligibility.
+func (ent *domainEntry) probe(col *dataframe.Column) {
+	valid := col.ValidData()
+	switch col.Kind() {
+	case dataframe.KindBool:
+		// The float view is exactly {0, 1}; no per-row codes needed.
+		ent.ok, ent.base, ent.k = true, 0, 2
+	case dataframe.KindInt, dataframe.KindTime:
+		vals := col.IntData()
+		var mn, mx int64
+		seen := false
+		for i, v := range vals {
+			if !valid[i] {
+				continue
+			}
+			if !seen {
+				mn, mx, seen = v, v, true
+				continue
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if !seen || mn < -maxCountingAbs || mx > maxCountingAbs {
+			return
+		}
+		if width := mx - mn + 1; width <= maxCountingDomain {
+			ent.ok, ent.base, ent.k = true, mn, int(width)
+		}
+	case dataframe.KindString:
+		strs := col.StrData()
+		distinct := map[string]int32{}
+		for i, s := range strs {
+			if !valid[i] {
+				continue
+			}
+			if _, dup := distinct[s]; !dup {
+				if len(distinct) >= maxCountingDomain {
+					return
+				}
+				distinct[s] = 0
+			}
+		}
+		if len(distinct) == 0 {
+			return
+		}
+		vals := make([]string, 0, len(distinct))
+		for s := range distinct {
+			vals = append(vals, s)
+		}
+		slices.Sort(vals)
+		for rank, s := range vals {
+			distinct[s] = int32(rank)
+		}
+		codes := make([]int32, len(strs))
+		for i, s := range strs {
+			if valid[i] {
+				codes[i] = distinct[s]
+			}
+		}
+		ent.ok, ent.k, ent.svals, ent.codes = true, len(vals), vals, codes
+	}
+}
+
+// countScratch returns the attrScan's zeroed count array (lazily sized to the
+// domain) and its touched-code list.
+func (as *attrScan) countScratch(k int) []int32 {
+	if cap(as.cnt) < k {
+		as.cnt = make([]int32, k)
+	}
+	return as.cnt[:k]
+}
+
+// countingSortFloats rewrites one group's float segment ascending through the
+// small-int domain: count codes, then emit float64(base+code) runs in code
+// order — bit-identical to slices.Sort(seg) because every value round-trips
+// exactly. The count array is left zeroed for the next segment.
+func (as *attrScan) countingSortFloats(seg []float64, base int64, k int) {
+	cnt := as.countScratch(k)
+	touched := as.touched[:0]
+	for _, v := range seg {
+		c := int32(int64(v) - base)
+		if cnt[c] == 0 {
+			touched = append(touched, c)
+		}
+		cnt[c]++
+	}
+	slices.Sort(touched)
+	w := 0
+	for _, c := range touched {
+		v := float64(base + int64(c))
+		for n := cnt[c]; n > 0; n-- {
+			seg[w] = v
+			w++
+		}
+		cnt[c] = 0
+	}
+	as.touched = touched
+}
+
+// countingFillStrings writes one group's string segment ascending from its
+// scattered codes: count the segment's codes, then emit each distinct value's
+// run in rank order — the exact output slices.Sort would produce over the
+// scattered strings, with int32 moves instead of string compares.
+func (as *attrScan) countingFillStrings(dst []string, codeSeg []int32, svals []string, k int) {
+	cnt := as.countScratch(k)
+	touched := as.touched[:0]
+	for _, c := range codeSeg {
+		if cnt[c] == 0 {
+			touched = append(touched, c)
+		}
+		cnt[c]++
+	}
+	slices.Sort(touched)
+	w := 0
+	for _, c := range touched {
+		s := svals[c]
+		for n := cnt[c]; n > 0; n-- {
+			dst[w] = s
+			w++
+		}
+		cnt[c] = 0
+	}
+	as.touched = touched
+}

@@ -46,6 +46,17 @@ type Executor struct {
 	// instead of the fused shared-scan path. The differential tests and the
 	// fused-vs-legacy benchmarks flip it; production callers leave it false.
 	DisableFusion bool
+	// DisableScatterFusion keeps the fused execute path but forces
+	// AugmentValuesBatch through the per-query scatter (the PR 3 behaviour:
+	// one O(rows(D)) pass and one dgToLocal mapping per query instead of per
+	// plan group). Differential tests and the scatter benchmarks flip it.
+	DisableScatterFusion bool
+	// DisableCountingSort forces the fused per-group sort through the generic
+	// comparison sort even when the aggregation attribute has a cached
+	// low-cardinality domain. Differential tests and benchmarks flip it.
+	DisableCountingSort bool
+
+	joinCache *JoinCache // train-side index sharing; ProcessJoinCache by default
 
 	mu      sync.Mutex
 	groups  map[string]*groupEntry
@@ -53,8 +64,9 @@ type Executor struct {
 	masks   map[string]*maskEntry
 	plans   map[planKey]*planEntry
 	joins   map[joinKey]*joinEntry
-	views   map[string][]float64 // per-column float views (int/time/bool)
-	allRows []int                // lazily built identity row list for predicate-free plans
+	views   map[string][]float64    // per-column float views (int/time/bool)
+	domains map[string]*domainEntry // per-column low-cardinality domain probes
+	allRows []int                   // lazily built identity row list for predicate-free plans
 	stats   ExecutorStats
 }
 
@@ -67,11 +79,24 @@ type ExecutorStats struct {
 	PredHits, PredMisses   int64 // per-predicate bitmaps
 	MaskHits, MaskMisses   int64 // combined WHERE masks (bitmap + row list)
 	PlanHits, PlanMisses   int64 // plan-group discovery results
-	JoinHits, JoinMisses   int64 // train-side join indexes
-	FusedScans             int64 // shared scans run by the fused batch path
-	FusedQueries           int64 // queries answered through a fused plan group
-	CoreQueries            int64 // queries answered by the per-query core
-	Evictions              int64 // whole-cache drops across bounded caches
+	JoinHits, JoinMisses   int64 // per-executor join entries (rToD mappings)
+	// Shared train-side index cache (JoinCache): lookups this executor made
+	// that found an index another executor (or an earlier join entry) already
+	// built, lookups that had to build one, and whole-cache drops this
+	// executor triggered.
+	SharedJoinHits, SharedJoinMisses int64
+	SharedJoinEvictions              int64
+	FusedScans                       int64 // shared scans run by the fused batch path
+	FusedQueries                     int64 // queries answered through a fused plan group
+	CoreQueries                      int64 // queries answered by the per-query core
+	// Train-side scatter: full passes over the training table's rows vs
+	// feature columns served by them. The fused scatter runs one pass per
+	// (plan group, training table) writing every column of the group in the
+	// same loop, so ScatterQueries / ScatterPasses is the sharing factor
+	// (1.0 = the per-query path).
+	ScatterPasses, ScatterQueries int64
+	CountingScans                 int64 // fused sorts served by the counting path
+	Evictions                     int64 // whole-cache drops across bounded caches
 }
 
 // Add returns the field-wise sum of two snapshots. Multi-table transformers
@@ -87,9 +112,15 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 	s.PlanMisses += o.PlanMisses
 	s.JoinHits += o.JoinHits
 	s.JoinMisses += o.JoinMisses
+	s.SharedJoinHits += o.SharedJoinHits
+	s.SharedJoinMisses += o.SharedJoinMisses
+	s.SharedJoinEvictions += o.SharedJoinEvictions
 	s.FusedScans += o.FusedScans
 	s.FusedQueries += o.FusedQueries
 	s.CoreQueries += o.CoreQueries
+	s.ScatterPasses += o.ScatterPasses
+	s.ScatterQueries += o.ScatterQueries
+	s.CountingScans += o.CountingScans
 	s.Evictions += o.Evictions
 	return s
 }
@@ -97,10 +128,12 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 // String renders the snapshot as one compact log line.
 func (s ExecutorStats) String() string {
 	return fmt.Sprintf(
-		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d (hit/miss), fused %d queries over %d scans, core %d queries, %d evictions",
+		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, %d evictions",
 		s.GroupHits, s.GroupMisses, s.MaskHits, s.MaskMisses, s.PredHits, s.PredMisses,
 		s.PlanHits, s.PlanMisses, s.JoinHits, s.JoinMisses,
-		s.FusedQueries, s.FusedScans, s.CoreQueries, s.Evictions)
+		s.SharedJoinHits, s.SharedJoinMisses,
+		s.FusedQueries, s.FusedScans, s.CountingScans, s.CoreQueries,
+		s.ScatterQueries, s.ScatterPasses, s.Evictions+s.SharedJoinEvictions)
 }
 
 // Stats returns a snapshot of the executor's counters.
@@ -167,16 +200,36 @@ type planEntry struct {
 	err    error
 }
 
+// ExecutorOption configures NewExecutor.
+type ExecutorOption func(*Executor)
+
+// WithJoinCache makes the executor share train-side join indexes through the
+// given cache instead of the process-level default. Multi-table transformers
+// pass one cache to every per-source executor, so k executors serving shards
+// of one training table build its index once between them.
+func WithJoinCache(c *JoinCache) ExecutorOption {
+	return func(e *Executor) {
+		if c != nil {
+			e.joinCache = c
+		}
+	}
+}
+
 // NewExecutor builds an executor over one relevant table. The table must not
 // be mutated while the executor is in use (caches index into its rows).
-func NewExecutor(r *dataframe.Table) *Executor {
-	return &Executor{
-		r:      r,
-		groups: map[string]*groupEntry{},
-		preds:  map[string]*predEntry{},
-		masks:  map[string]*maskEntry{},
-		plans:  map[planKey]*planEntry{},
+func NewExecutor(r *dataframe.Table, opts ...ExecutorOption) *Executor {
+	e := &Executor{
+		r:         r,
+		joinCache: processJoins,
+		groups:    map[string]*groupEntry{},
+		preds:     map[string]*predEntry{},
+		masks:     map[string]*maskEntry{},
+		plans:     map[planKey]*planEntry{},
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Table returns the relevant table the executor is bound to.
@@ -710,10 +763,13 @@ func (e *Executor) executeCore(q Query) (execResult, error) {
 // mapping from relevant-table group ids to train-side group ids. With it,
 // joining a query's feature onto the training table is pure integer
 // indexing — the per-query string re-hash of the whole training table that
-// LeftJoin would do is paid once per key-set instead.
+// LeftJoin would do is paid once per key-set instead. The index itself comes
+// from the shared JoinCache (it depends only on d and the keys), so executors
+// over different relevant tables reuse each other's build; only the rToD
+// mapping is computed per executor.
 type joinEntry struct {
 	once sync.Once
-	idx  *dataframe.GroupIndex // over d's key columns
+	idx  *dataframe.GroupIndex // over d's key columns, from the shared cache
 	rToD []int                 // relevant gid -> train gid, -1 = no match
 	err  error
 }
@@ -730,10 +786,22 @@ func (e *Executor) joinIndex(d *dataframe.Table, keys []string) (*joinEntry, err
 		func() *joinEntry { return &joinEntry{} })
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.idx, ent.err = d.BuildGroupIndex(keys...)
-		if ent.err != nil {
+		idx, hit, evicted, err := e.joinCache.trainIndex(d, keys)
+		e.mu.Lock()
+		if hit {
+			e.stats.SharedJoinHits++
+		} else {
+			e.stats.SharedJoinMisses++
+		}
+		if evicted {
+			e.stats.SharedJoinEvictions++
+		}
+		e.mu.Unlock()
+		if err != nil {
+			ent.err = err
 			return
 		}
+		ent.idx = idx
 		rIdx, err := e.groupIndex(keys)
 		if err != nil {
 			ent.err = err
@@ -773,22 +841,46 @@ func (e *Executor) AugmentValues(d *dataframe.Table, q Query) ([]float64, []bool
 	return e.scatter(d, q, er)
 }
 
+// scatterScratch holds the per-scatter train-group mapping (and, for the
+// fused path, the per-row local map), recycled through a pool so neither the
+// per-query fallback nor the fused per-group scatter allocates O(train
+// groups) or O(rows(D)) scratch per use.
+type scatterScratch struct {
+	dgToLocal []int
+	rowLocal  []int32
+}
+
+// grabInts32 returns a length-n int32 slice backed by *buf; contents are
+// unspecified (callers overwrite every slot).
+func grabInts32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+		return *buf
+	}
+	return (*buf)[:n]
+}
+
+var scatterPool = sync.Pool{New: func() interface{} { return &scatterScratch{} }}
+
 // scatter maps a query's group values onto d's rows: result group -> train
-// group (via the cached join mapping), then train group -> row values.
+// group (via the cached join mapping), then train group -> row values. This
+// is the per-query path (legacy / DisableScatterFusion); batches go through
+// the plan-group-shared scatter in scatter.go.
 func (e *Executor) scatter(d *dataframe.Table, q Query, er execResult) ([]float64, []bool, error) {
 	jn, err := e.joinIndex(d, q.Keys)
 	if err != nil {
 		return nil, nil, err
 	}
-	dgToLocal := make([]int, jn.idx.NumGroups()) // train gid -> local index + 1
+	n := d.NumRows()
+	vals := make([]float64, n)
+	valid := make([]bool, n)
+	sc := scatterPool.Get().(*scatterScratch)
+	dgToLocal := grabInts(&sc.dgToLocal, jn.idx.NumGroups()) // train gid -> local index + 1
 	for li, r := range er.repr {
 		if dg := jn.rToD[er.gi.GroupOf(r)]; dg >= 0 {
 			dgToLocal[dg] = li + 1
 		}
 	}
-	n := d.NumRows()
-	vals := make([]float64, n)
-	valid := make([]bool, n)
 	dRowGID := jn.idx.RowGroups()
 	for row := 0; row < n; row++ {
 		if li := dgToLocal[dRowGID[row]]; li > 0 {
@@ -799,6 +891,11 @@ func (e *Executor) scatter(d *dataframe.Table, q Query, er execResult) ([]float6
 			}
 		}
 	}
+	scatterPool.Put(sc)
+	e.mu.Lock()
+	e.stats.ScatterPasses++
+	e.stats.ScatterQueries++
+	e.mu.Unlock()
 	return vals, valid, nil
 }
 
@@ -890,20 +987,57 @@ func (e *Executor) AugmentBatchContext(ctx context.Context, d *dataframe.Table, 
 
 // AugmentValuesBatch is AugmentValues over a slice of queries through the
 // fused path: per-query feature slices aligned with d's rows, in input order.
+// On the fused (default) path the returned slices are read-only views into
+// one flat batch buffer (a FeatureMatrix), so retaining any one of them
+// keeps the whole batch's buffer reachable; callers that keep a few columns
+// of a large batch long-term should copy them out. The DisableFusion /
+// DisableScatterFusion test modes return standalone per-query slices.
 func (e *Executor) AugmentValuesBatch(d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
 	return e.AugmentValuesBatchContext(context.Background(), d, qs)
+}
+
+// validateJoinKeys checks every query's join keys against the training
+// table, shared by the batch augment entry points.
+func validateJoinKeys(d *dataframe.Table, qs []Query) error {
+	for _, q := range qs {
+		for _, k := range q.Keys {
+			if !d.HasColumn(k) {
+				return fmt.Errorf("%s: query: training table has no join key %q", q.SQL("R"), k)
+			}
+		}
+	}
+	return nil
 }
 
 // AugmentValuesBatchContext is AugmentValuesBatch under a context (see
 // ExecuteBatchContext for the cancellation contract).
 func (e *Executor) AugmentValuesBatchContext(ctx context.Context, d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
-	for _, q := range qs {
-		for _, k := range q.Keys {
-			if !d.HasColumn(k) {
-				return nil, nil, fmt.Errorf("%s: query: training table has no join key %q", q.SQL("R"), k)
-			}
-		}
+	if err := validateJoinKeys(d, qs); err != nil {
+		return nil, nil, err
 	}
+	if e.DisableFusion || e.DisableScatterFusion {
+		return e.scatterPerQuery(ctx, d, qs)
+	}
+	// The fused path lands every column in one flat matrix and returns
+	// per-query views into it — the same shared scatter as AugmentMatrix
+	// (keys were validated above).
+	m, err := e.augmentMatrixCore(ctx, d, qs)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := make([][]float64, len(qs))
+	valid := make([][]bool, len(qs))
+	for i := range qs {
+		vals[i], valid[i] = m.Col(i)
+	}
+	return vals, valid, nil
+}
+
+// scatterPerQuery is the DisableFusion/DisableScatterFusion fallback shared
+// by the batch augment entry points: execute, then one scatter pass over d
+// per query on the worker pool, into standalone per-query slices — the PR 3
+// behaviour the differential tests and benchmarks compare against.
+func (e *Executor) scatterPerQuery(ctx context.Context, d *dataframe.Table, qs []Query) ([][]float64, [][]bool, error) {
 	ers, err := e.executeBatchCore(ctx, qs, false)
 	if err != nil {
 		return nil, nil, err
@@ -922,6 +1056,51 @@ func (e *Executor) AugmentValuesBatchContext(ctx context.Context, d *dataframe.T
 		return nil, nil, err
 	}
 	return vals, valid, nil
+}
+
+// AugmentMatrix is AugmentValuesBatch with a columnar bulk output: every
+// query's feature lands in one flat column-major buffer (see FeatureMatrix)
+// instead of per-query slices, so downstream dataset assembly reads one
+// allocation.
+func (e *Executor) AugmentMatrix(d *dataframe.Table, qs []Query) (*FeatureMatrix, error) {
+	return e.AugmentMatrixContext(context.Background(), d, qs)
+}
+
+// AugmentMatrixContext is AugmentMatrix under a context (see
+// ExecuteBatchContext for the cancellation contract).
+func (e *Executor) AugmentMatrixContext(ctx context.Context, d *dataframe.Table, qs []Query) (*FeatureMatrix, error) {
+	if err := validateJoinKeys(d, qs); err != nil {
+		return nil, err
+	}
+	return e.augmentMatrixCore(ctx, d, qs)
+}
+
+// augmentMatrixCore is AugmentMatrixContext after key validation.
+func (e *Executor) augmentMatrixCore(ctx context.Context, d *dataframe.Table, qs []Query) (*FeatureMatrix, error) {
+	m := newFeatureMatrix(d.NumRows(), len(qs))
+	if e.DisableFusion || e.DisableScatterFusion {
+		vals, valid, err := e.scatterPerQuery(ctx, d, qs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range qs {
+			mv, mok := m.Col(i)
+			copy(mv, vals[i])
+			copy(mok, valid[i])
+		}
+		return m, nil
+	}
+	// One plan-group partition serves both stages: shared scans, then the
+	// shared train-side scatter.
+	order := groupBatch(qs)
+	ers, err := e.executeGrouped(ctx, qs, order, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.scatterBatch(ctx, d, qs, ers, order, m); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // runBatch runs fn(0..n-1) on the executor's worker pool.

@@ -53,13 +53,43 @@ type pairResult struct {
 }
 
 // fusedGroup collects the batch slots of one plan group: which queries landed
-// in it and which deduplicated agg pairs they need.
+// in it and which deduplicated agg pairs they need. The partition is computed
+// once per batch (groupBatch) and shared by the execute and scatter stages.
 type fusedGroup struct {
-	keys  []string
-	preds []Predicate // representative predicate set (first query's)
-	rep   Query       // representative query, for error context
-	order []aggPair   // deduped pairs in first-seen order
-	slots map[aggPair][]int
+	keys    []string
+	preds   []Predicate // representative predicate set (first query's)
+	rep     Query       // representative query, for error context
+	repSlot int         // representative batch slot
+	order   []aggPair   // deduped pairs in first-seen order
+	slots   map[aggPair][]int
+}
+
+// groupBatch partitions a batch by plan group — one (key-set, canonical
+// WHERE-mask signature) pair — deduplicating agg pairs within each group.
+func groupBatch(qs []Query) []*fusedGroup {
+	groups := map[planKey]*fusedGroup{}
+	var order []*fusedGroup
+	for i, q := range qs {
+		pk := planKey{keys: strings.Join(q.Keys, "\x1f"), sig: maskSignature(q.Preds)}
+		g, ok := groups[pk]
+		if !ok {
+			g = &fusedGroup{
+				keys:    q.Keys,
+				preds:   q.Preds,
+				rep:     q,
+				repSlot: i,
+				slots:   map[aggPair][]int{},
+			}
+			groups[pk] = g
+			order = append(order, g)
+		}
+		pair := aggPair{attr: q.AggAttr, fn: q.Agg}
+		if _, seen := g.slots[pair]; !seen {
+			g.order = append(g.order, pair)
+		}
+		g.slots[pair] = append(g.slots[pair], i)
+	}
+	return order
 }
 
 // executeBatchCore evaluates a batch of queries, fused by plan group, and
@@ -69,6 +99,17 @@ type fusedGroup struct {
 // tables. DisableFusion falls back to the per-query core, preserving the
 // legacy one-scan-per-query behaviour for benchmarks and differential tests.
 func (e *Executor) executeBatchCore(ctx context.Context, qs []Query, withKeyCols bool) ([]execResult, error) {
+	return e.executeGrouped(ctx, qs, nil, withKeyCols)
+}
+
+// executeGrouped is executeBatchCore over a precomputed plan-group partition
+// (nil means compute it here); AugmentValuesBatch passes the partition down
+// so the scatter stage shares it instead of re-deriving every query's mask
+// signature.
+func (e *Executor) executeGrouped(ctx context.Context, qs []Query, order []*fusedGroup, withKeyCols bool) ([]execResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]execResult, len(qs))
 	if e.DisableFusion {
 		err := e.runBatch(ctx, len(qs), func(i int) error {
@@ -99,31 +140,13 @@ func (e *Executor) executeBatchCore(ctx context.Context, qs []Query, withKeyCols
 		}
 	}
 
-	groups := map[planKey]*fusedGroup{}
-	var order []*fusedGroup
-	for i, q := range qs {
-		pk := planKey{keys: strings.Join(q.Keys, "\x1f"), sig: maskSignature(q.Preds)}
-		g, ok := groups[pk]
-		if !ok {
-			g = &fusedGroup{
-				keys:  q.Keys,
-				preds: q.Preds,
-				rep:   q,
-				slots: map[aggPair][]int{},
-			}
-			groups[pk] = g
-			order = append(order, g)
-		}
-		pair := aggPair{attr: q.AggAttr, fn: q.Agg}
-		if _, seen := g.slots[pair]; !seen {
-			g.order = append(g.order, pair)
-		}
-		g.slots[pair] = append(g.slots[pair], i)
+	if order == nil {
+		order = groupBatch(qs)
 	}
 
 	err := par.ForEachCtx(ctx, e.Parallelism, len(order), func(gidx int) error {
 		g := order[gidx]
-		prs, pe, err := e.runPlanGroup(g)
+		prs, pe, err := e.runPlanGroup(ctx, g)
 		if err != nil {
 			return err
 		}
@@ -156,6 +179,7 @@ func (e *Executor) executeBatchCore(ctx context.Context, qs []Query, withKeyCols
 // functions need.
 type attrScan struct {
 	useString bool
+	col       *dataframe.Column // the aggregation attribute
 
 	stream   []agg.Func // served by pass A (and B for the moment family)
 	buffered []agg.Func // served by the sorted per-group value buffers
@@ -185,6 +209,15 @@ type attrScan struct {
 	fbuf       []float64
 	sbuf       []string
 	devbuf     []float64 // MAD deviation scratch, reused across groups
+
+	// Counting-path state (see counting.go): the attribute's cached domain
+	// probe (nil or ineligible → comparison sort), per-segment count and
+	// touched-code scratch, and the code buffer string attributes scatter
+	// into instead of strings.
+	dom     *domainEntry
+	cnt     []int32
+	touched []int32
+	cbuf    []int32
 }
 
 // streamable reports whether fn is served by the streaming passes (A/B) on a
@@ -208,8 +241,11 @@ func needsMoments(fn agg.Func) bool {
 }
 
 // runPlanGroup executes one plan group: cached discovery, then the shared
-// passes feeding every requested (attr, func) pair.
-func (e *Executor) runPlanGroup(g *fusedGroup) (map[aggPair]pairResult, *planEntry, error) {
+// passes feeding every requested (attr, func) pair. The context is observed
+// between the per-attribute scans, so a batch that collapsed into one huge
+// plan group still cancels promptly (the per-worker check in the batch loop
+// runs only once for such a batch).
+func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair]pairResult, *planEntry, error) {
 	pe, err := e.plan(g.keys, g.preds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", g.rep.SQL("R"), err)
@@ -227,6 +263,7 @@ func (e *Executor) runPlanGroup(g *fusedGroup) (map[aggPair]pairResult, *planEnt
 			col := e.r.Column(pair.attr)
 			as = &attrScan{
 				useString: col.Kind() == dataframe.KindString,
+				col:       col,
 				valid:     col.ValidData(),
 			}
 			if as.useString {
@@ -277,6 +314,14 @@ func (e *Executor) runPlanGroup(g *fusedGroup) (map[aggPair]pairResult, *planEnt
 
 	if len(scanList) > 0 && ngroups > 0 {
 		for _, as := range scanList {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			if as.needBuf && !e.DisableCountingSort {
+				if dom := e.domain(as.col); dom.ok {
+					as.dom = dom
+				}
+			}
 			as.scan(e, pe, ngroups)
 		}
 	}
@@ -322,6 +367,28 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 
 	if as.useString {
 		as.sbuf = make([]string, as.offs[ngroups])
+		if as.dom != nil {
+			// Counting path: scatter int32 codes instead of strings, then
+			// write each group's segment already sorted from the dictionary —
+			// no string moves in the scatter, no string compares at all.
+			e.countingScan()
+			if cap(as.cbuf) < as.offs[ngroups] {
+				as.cbuf = make([]int32, as.offs[ngroups])
+			}
+			cbuf := as.cbuf[:as.offs[ngroups]]
+			codes, fill := as.dom.codes, as.fill
+			for _, i := range pe.rows {
+				if valid[i] {
+					li := local[rowGID[i]] - 1
+					cbuf[fill[li]] = codes[i]
+					fill[li]++
+				}
+			}
+			for li := 0; li < ngroups; li++ {
+				as.countingFillStrings(as.sbuf[as.offs[li]:fill[li]], cbuf[as.offs[li]:fill[li]], as.dom.svals, as.dom.k)
+			}
+			return
+		}
 		strs, sbuf, fill := as.strs, as.sbuf, as.fill
 		for _, i := range pe.rows {
 			if valid[i] {
@@ -337,6 +404,9 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 	}
 
 	as.fbuf = make([]float64, as.offs[ngroups])
+	if as.dom != nil {
+		e.countingScan()
+	}
 	fvals, fbuf, fill := as.fvals, as.fbuf, as.fill
 	for _, i := range pe.rows {
 		if valid[i] {
@@ -401,7 +471,11 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 			}
 			as.ss[li] = ss
 		}
-		slices.Sort(seg)
+		if as.dom != nil {
+			as.countingSortFloats(seg, as.dom.base, as.dom.k)
+		} else {
+			slices.Sort(seg)
+		}
 	}
 }
 

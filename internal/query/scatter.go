@@ -1,0 +1,165 @@
+package query
+
+// The fused train-side scatter. PR 3 fused the relevant-table side of batch
+// execution (shared scans per plan group) but left serving per-query: every
+// query of an AugmentValuesBatch paid its own O(rows(D)) walk over the
+// training table with a freshly allocated train-group mapping. This file
+// extends plan-group fusion across the train-side boundary: the batch is
+// grouped by the same (key-set, WHERE-mask signature) plan groups as the
+// execute path, and each group builds ONE dgToLocal mapping and runs ONE pass
+// over the training table that writes every query's feature column in the
+// same loop. Queries sharing a (plan group, agg pair) are served by one
+// column, matching the slice sharing of the fused execute path. Results are
+// bit-identical to the per-query scatter (the differential tests enforce it):
+// the per-group projection tables fold the NULL/NaN convention before the
+// pass, so the row loop is branch-free integer indexing.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/dataframe"
+	"repro/internal/par"
+)
+
+// FeatureMatrix is a columnar bulk feature output: NumFeatures() feature
+// vectors over NumRows() training rows in one flat column-major buffer, so
+// downstream dataset assembly (pipeline evaluation, ml.Dataset construction,
+// bulk column appends) consumes a single allocation instead of per-feature
+// slices. Column j occupies Vals[j*rows : (j+1)*rows], with Valid parallel.
+type FeatureMatrix struct {
+	rows, cols int
+	Vals       []float64
+	Valid      []bool
+}
+
+func newFeatureMatrix(rows, cols int) *FeatureMatrix {
+	return &FeatureMatrix{
+		rows: rows, cols: cols,
+		Vals:  make([]float64, rows*cols),
+		Valid: make([]bool, rows*cols),
+	}
+}
+
+// NumRows returns the number of rows each feature column has.
+func (m *FeatureMatrix) NumRows() int { return m.rows }
+
+// NumFeatures returns the number of feature columns.
+func (m *FeatureMatrix) NumFeatures() int { return m.cols }
+
+// Col returns feature column j as (values, validity) views into the flat
+// buffer. The views alias the matrix storage; treat them as read-only.
+func (m *FeatureMatrix) Col(j int) ([]float64, []bool) {
+	lo, hi := j*m.rows, (j+1)*m.rows
+	return m.Vals[lo:hi:hi], m.Valid[lo:hi:hi]
+}
+
+// projSlot is one entry of a column's projection table: the feature value
+// and validity of one local group, with the join-miss / NULL-aggregate / NaN
+// conventions pre-folded (slot 0 = join miss or empty plan group).
+type projSlot struct {
+	v  float64
+	ok bool
+}
+
+// scatterCol is one distinct output column of a plan group's shared scatter
+// pass: its projection table (a view into a per-group slab, so a group costs
+// a constant number of allocations however many columns it serves) plus the
+// destination matrix column.
+type scatterCol struct {
+	proj  []projSlot
+	vals  []float64
+	valid []bool
+}
+
+// scatterBatch maps every query's group values onto d's rows through one
+// shared pass per plan group, reusing the batch partition the execute stage
+// grouped (order), and writes into m's columns. ers must come from the fused
+// execute path, so queries of one plan group share gi/repr. Each distinct
+// (plan group, agg pair) is scattered once, into its first query's column;
+// duplicate queries are filled by copy.
+func (e *Executor) scatterBatch(ctx context.Context, d *dataframe.Table, qs []Query, ers []execResult, order []*fusedGroup, m *FeatureMatrix) error {
+	n := d.NumRows()
+	return par.ForEachCtx(ctx, e.Parallelism, len(order), func(gidx int) error {
+		g := order[gidx]
+		er := ers[g.repSlot]
+		jn, err := e.joinIndex(d, g.rep.Keys)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.rep.SQL("R"), err)
+		}
+		sc := scatterPool.Get().(*scatterScratch)
+		defer scatterPool.Put(sc)
+		dgToLocal := grabInts(&sc.dgToLocal, jn.idx.NumGroups()) // train gid -> local index + 1
+		for li, r := range er.repr {
+			if dg := jn.rToD[er.gi.GroupOf(r)]; dg >= 0 {
+				dgToLocal[dg] = li + 1
+			}
+		}
+		ngroups := len(er.repr)
+		ncols := len(g.order)
+		// One slab holds every column's projection table.
+		pslab := make([]projSlot, (ngroups+1)*ncols)
+		cols := make([]scatterCol, ncols)
+		for ci, pair := range g.order {
+			per := ers[g.slots[pair][0]]
+			c := &cols[ci]
+			lo := ci * (ngroups + 1)
+			c.proj = pslab[lo : lo+ngroups+1 : lo+ngroups+1]
+			for li := 0; li < ngroups; li++ {
+				v := per.vals[li]
+				// NaN aggregates are NULL, matching NewFloatColumn + Floats
+				// (and the per-query scatter).
+				if per.valid[li] && !math.IsNaN(v) {
+					c.proj[li+1] = projSlot{v: v, ok: true}
+				}
+			}
+			c.vals, c.valid = m.Col(g.slots[pair][0])
+		}
+
+		// The shared pass over the training table: resolve each row's local
+		// group once — the random-access half of the scatter (row -> train
+		// group -> plan-group slot) that the per-query path repeats for every
+		// query — into a compact sequential map.
+		dRowGID := jn.idx.RowGroups()
+		rowLocal := grabInts32(&sc.rowLocal, n)
+		for row := 0; row < n; row++ {
+			rowLocal[row] = int32(dgToLocal[dRowGID[row]])
+		}
+
+		// Column fills: pure sequential streams off the shared row map, with
+		// the miss/NULL branches pre-folded into the projection tables. The
+		// context is observed per column, so a huge single-group batch still
+		// cancels inside the batch loop.
+		for ci := range cols {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c := &cols[ci]
+			proj, cv, cok := c.proj, c.vals, c.valid
+			for row, li := range rowLocal {
+				p := proj[li]
+				cv[row] = p.v
+				cok[row] = p.ok
+			}
+		}
+
+		served := 0
+		for ci, pair := range g.order {
+			c := &cols[ci]
+			for si, slot := range g.slots[pair] {
+				if si > 0 {
+					mv, mok := m.Col(slot)
+					copy(mv, c.vals)
+					copy(mok, c.valid)
+				}
+				served++
+			}
+		}
+		e.mu.Lock()
+		e.stats.ScatterPasses++
+		e.stats.ScatterQueries += int64(served)
+		e.mu.Unlock()
+		return nil
+	})
+}
