@@ -18,7 +18,11 @@
 // A multi-table scenario spec, dataset:split=column, shards the dataset's
 // relevant table into one relevant table per distinct value of a string
 // column (Section III's multiple-relevant-tables decomposition) and runs the
-// per-table searches concurrently through FitMulti / MultiFeaturePlan:
+// per-table searches concurrently through FitMulti / MultiFeaturePlan. The
+// shards carry provenance (dataframe.Shard), so the per-shard executors
+// automatically share one morsel-driven pass over the parent table instead
+// of scanning it once per shard, and -v prints one merged executor-stats
+// block for the set:
 //
 //	feataug -fit tmall:split=action -rows 400 -seed 1 -plan-out multi.json
 //	feataug -plan-in multi.json -transform tmall:split=action -rows 400 -seed 2 -out batch.csv
@@ -32,7 +36,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	repro "repro"
@@ -59,7 +62,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("feataug", flag.ContinueOnError)
 	var (
 		exp       = fs.String("exp", "table3", "experiment: table1|table2|table3|table6|table7|table8|fig5|fig6|fig7|fig8|fig9|all")
-		fit       = fs.String("fit", "", "fit mode: dataset (or dataset:split=column multi-table scenario) to learn a plan from (requires -plan-out)")
+		fit       = fs.String("fit", "", "fit mode: dataset (or dataset:split=column multi-table scenario; shards share one scan over the parent table) to learn a plan from (requires -plan-out)")
 		planOut   = fs.String("plan-out", "", "fit mode: write the learned plan JSON to this file")
 		planIn    = fs.String("plan-in", "", "transform mode: load a plan JSON from this file")
 		transform = fs.String("transform", "", "transform mode: dataset (or dataset:split=column scenario) to apply the loaded plan to")
@@ -311,57 +314,47 @@ func splitColumn(d *datagen.Dataset, splitCol string) (*dataframe.Column, error)
 	return col, nil
 }
 
-// shardBy filters the relevant table down to the rows carrying one split
-// value (NULLs match no shard).
+// shardBy builds a provenance-carrying shard of the relevant table holding
+// the rows with one split value (NULLs match no shard). Because the shard
+// remembers its parent (dataframe.Shard), every executor over it shares the
+// parent's scan state through the process ScanScheduler.
 func shardBy(d *datagen.Dataset, col *dataframe.Column, value string) *dataframe.Table {
-	return d.Relevant.Filter(func(i int) bool { return !col.IsNull(i) && col.Str(i) == value })
+	var rows []int
+	for i := 0; i < d.Relevant.NumRows(); i++ {
+		if !col.IsNull(i) && col.Str(i) == value {
+			rows = append(rows, i)
+		}
+	}
+	return d.Relevant.Shard(rows)
 }
 
 // splitInputs shards a dataset's relevant table by the distinct values of a
-// string column: one RelevantInput per value (sorted for determinism), named
-// by the value, with the split column removed from the predicate attributes
-// (it is constant within a shard). The second result is the number of rows
-// whose split value is NULL — they land in no shard, and the caller should
-// say so.
+// string column through the ShardedTable router: one RelevantInput per value
+// (sorted for determinism), named by the value, with the split column removed
+// from the predicate attributes (it is constant within a shard). The second
+// result is the number of rows whose split value is NULL — they land in no
+// shard, and the caller should say so.
 func splitInputs(d *datagen.Dataset, splitCol string) ([]repro.RelevantInput, int, error) {
-	col, err := splitColumn(d, splitCol)
+	if _, err := splitColumn(d, splitCol); err != nil {
+		return nil, 0, err
+	}
+	st, nulls, err := repro.NewShardedTableByValues(d.Relevant, splitCol)
 	if err != nil {
 		return nil, 0, err
 	}
-	distinct := map[string]bool{}
-	nulls := 0
-	for i := 0; i < d.Relevant.NumRows(); i++ {
-		if col.IsNull(i) {
-			nulls++
-			continue
-		}
-		distinct[col.Str(i)] = true
+	if st.NumShards() < 2 {
+		return nil, 0, fmt.Errorf("split column %q has %d distinct value(s); a multi-table scenario needs at least 2", splitCol, st.NumShards())
 	}
-	if len(distinct) < 2 {
-		return nil, 0, fmt.Errorf("split column %q has %d distinct value(s); a multi-table scenario needs at least 2", splitCol, len(distinct))
+	if st.NumShards() > maxSplitShards {
+		return nil, 0, fmt.Errorf("split column %q has %d distinct values (max %d); pick a lower-cardinality column", splitCol, st.NumShards(), maxSplitShards)
 	}
-	if len(distinct) > maxSplitShards {
-		return nil, 0, fmt.Errorf("split column %q has %d distinct values (max %d); pick a lower-cardinality column", splitCol, len(distinct), maxSplitShards)
-	}
-	values := make([]string, 0, len(distinct))
-	for v := range distinct {
-		values = append(values, v)
-	}
-	sort.Strings(values)
 	var predAttrs []string
 	for _, a := range d.PredAttrs {
 		if a != splitCol {
 			predAttrs = append(predAttrs, a)
 		}
 	}
-	inputs := make([]repro.RelevantInput, 0, len(values))
-	for _, v := range values {
-		inputs = append(inputs, repro.RelevantInput{
-			Name: v, Table: shardBy(d, col, v), Keys: d.Keys,
-			AggAttrs: d.AggAttrs, PredAttrs: predAttrs,
-		})
-	}
-	return inputs, nulls, nil
+	return st.Inputs(d.Keys, d.AggAttrs, predAttrs), nulls, nil
 }
 
 // shardsForPlan rebuilds the relevant-table shards a multi plan binds to,
@@ -434,7 +427,10 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 	if fo.verbose {
 		// -v surfaces the engine's log lines — including the executor's
 		// cache/scan stats printed at the end of the run — on stderr. For a
-		// multi-table scenario each line is scoped "[source] ..." by FitMulti.
+		// multi-table scenario each line is scoped "[source] ..." by FitMulti,
+		// except the executor stats: sharded sources share scan state, so
+		// FitMulti prints one merged stats block for the whole set instead of
+		// k interleaved per-shard blocks.
 		opts = append(opts, feataug.WithLogf(func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}))
@@ -579,6 +575,12 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, s
 		fmt.Fprintf(stderr, "transform: scatter: %d columns over %d passes (%.1f cols/pass), shared join index %d hits / %d misses, %d counting sorts\n",
 			s.ScatterQueries, s.ScatterPasses, float64(s.ScatterQueries)/float64(passes),
 			s.SharedJoinHits, s.SharedJoinMisses, s.CountingScans)
+		// The morsel-driven shared-scan counters: full-table passes the
+		// executor set paid, cache entries served to executors that did not
+		// build them (shards subscribing to a sibling's pass), and morsels
+		// walked in total.
+		fmt.Fprintf(stderr, "transform: shared scans: %d passes, %d subscribed, %d morsels scanned\n",
+			s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned)
 	}
 	return augmented.WriteCSV(out)
 }

@@ -14,6 +14,11 @@ type Table struct {
 	index map[string]int
 	nrows int
 	fp    atomic.Uint64 // lazily assigned identity fingerprint; 0 = unassigned
+
+	// Shard provenance (set by Shard, nil otherwise): the parent table this
+	// table's rows were taken from, and the parent row index behind each row.
+	parent     *Table
+	parentRows []int
 }
 
 // NewTable builds a table from columns, which must share a length and have

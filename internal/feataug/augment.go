@@ -121,7 +121,9 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	}
 	res.Augmented = aug
 	e.cfg.progress(StageMaterialize, 1, 1)
-	e.cfg.logf("feataug: executor stats: %s", e.eval.Executor().Stats())
+	if !e.cfg.suppressStatsLog {
+		e.cfg.logf("feataug: executor stats: %s", e.eval.Executor().Stats())
+	}
 	return res, nil
 }
 

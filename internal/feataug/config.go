@@ -86,6 +86,11 @@ type Config struct {
 	// WithProgress. Callbacks run synchronously on the search goroutine, so
 	// they must be fast and must not block.
 	Progress func(stage Stage, done, total int)
+
+	// suppressStatsLog drops the per-run executor-stats log line. FitMulti
+	// sets it on sharded-source runs so k shards of one table log one merged
+	// stats block instead of k interleaved ones.
+	suppressStatsLog bool
 }
 
 // Stage identifies one phase of a FeatAug run for progress reporting.

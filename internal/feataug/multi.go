@@ -131,6 +131,7 @@ func fitMulti(ctx context.Context, base pipeline.Problem, inputs []RelevantInput
 	problems := make([]pipeline.Problem, len(inputs))
 	evals := make([]*pipeline.Evaluator, len(inputs))
 	cfgs := make([]Config, len(inputs))
+	sharded := shardedInputs(inputs)
 	var mu sync.Mutex
 	for i, in := range inputs {
 		p := base
@@ -142,6 +143,10 @@ func fitMulti(ctx context.Context, base pipeline.Problem, inputs []RelevantInput
 		cfg := o.cfg
 		cfg.Seed = sourceSeed(o.cfg.Seed, in.Name)
 		cfg = scopeConfig(cfg, in.Name, &mu, o.sourceProgress)
+		// Shards of one table share scan state (the executors adopt the
+		// process ScanScheduler through their provenance); log one merged
+		// stats block for the set below instead of k interleaved ones.
+		cfg.suppressStatsLog = sharded
 		ev, err := pipeline.NewEvaluator(p, o.model, cfg.Seed)
 		if err != nil {
 			return nil, nil, fmt.Errorf("feataug: relevant table %q: %w", in.Name, err)
@@ -175,7 +180,36 @@ func fitMulti(ctx context.Context, base pipeline.Problem, inputs []RelevantInput
 	if err != nil {
 		return nil, nil, err
 	}
+	if sharded {
+		var merged query.ExecutorStats
+		for _, ev := range evals {
+			merged = merged.Add(ev.Executor().Stats())
+		}
+		o.cfg.logf("feataug: merged executor stats (%d sharded sources): %s", len(inputs), merged)
+	}
 	return newMultiPlan(base, inputs, problems, results), results, nil
+}
+
+// shardedInputs reports whether every input's table is a shard of one common
+// parent (at least two inputs) — the ShardedTable.Inputs shape, where the
+// per-source executors share one scan core.
+func shardedInputs(inputs []RelevantInput) bool {
+	if len(inputs) < 2 {
+		return false
+	}
+	var parent *dataframe.Table
+	for _, in := range inputs {
+		p, _, ok := in.Table.ShardOf()
+		if !ok {
+			return false
+		}
+		if parent == nil {
+			parent = p
+		} else if p != parent {
+			return false
+		}
+	}
+	return true
 }
 
 // FitMulti runs the complete FeatAug search once per relevant table — the

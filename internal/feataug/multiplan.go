@@ -208,10 +208,14 @@ func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Tabl
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	// One join cache across every per-source executor: the sources serve
-	// shards of one training table, so the train-side join index is built
-	// once per (training table, key-set) instead of once per source.
+	// One join cache and one scan scheduler across every per-source
+	// executor: the sources serve shards of one training table, so the
+	// train-side join index is built once per (training table, key-set)
+	// instead of once per source, and when the relevant tables are shards
+	// of one parent (dataframe.Shard provenance) their group indexes,
+	// predicate bitmaps and float views are built once per parent too.
 	joins := query.NewJoinCache()
+	scans := query.NewScanScheduler()
 	mt := &MultiTransformer{plan: p}
 	for i := range p.Sources {
 		src := &p.Sources[i]
@@ -222,7 +226,7 @@ func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Tabl
 		if tbl == nil {
 			return nil, fmt.Errorf("%w: relevant table %q", ErrNilTable, src.Name)
 		}
-		tr, err := src.Plan.Transformer(tbl, query.WithJoinCache(joins))
+		tr, err := src.Plan.Transformer(tbl, query.WithJoinCache(joins), query.WithScanScheduler(scans))
 		if err != nil {
 			return nil, fmt.Errorf("feataug: source %q: %w", src.Name, err)
 		}

@@ -1,0 +1,151 @@
+package feataug
+
+// ShardedTable: the multi-table router over one logical relevant table. The
+// paper's multi-table decomposition treats k relevant tables as k independent
+// single-table scenarios; when those k tables are really SHARDS of one
+// physical table (a user-split, a tenant partition, cmd/feataug's :split=
+// scenarios), treating them independently re-runs every table scan k times.
+// ShardedTable declares the partition explicitly: its shards carry
+// dataframe.Shard provenance, so the per-shard executors FitMulti builds scan
+// the shared parent through one ScanScheduler core, and Router() yields a
+// single executor over the shards' union for queries against the logical
+// table — bit-identical to an unsharded executor by construction (see
+// query.NewShardedExecutor).
+
+import (
+	"fmt"
+
+	"repro/internal/dataframe"
+	"repro/internal/query"
+)
+
+// ShardedTable is one logical relevant table declared as k named shards of a
+// shared parent. Build one with NewShardedTableByValues or
+// NewShardedTableRanges; the shards carry provenance, so executors over them
+// share the parent's scans automatically.
+type ShardedTable struct {
+	parent *dataframe.Table
+	names  []string
+	shards []*dataframe.Table
+}
+
+// NewShardedTableByValues partitions t by the distinct non-NULL values of a
+// string column: one shard per value, named by the value, in ascending value
+// order. Rows whose split value is NULL belong to no shard; their count is
+// returned so callers can surface the coverage loss. At least one distinct
+// value is required (a serving batch routed by value may legitimately hold
+// only one).
+func NewShardedTableByValues(t *dataframe.Table, splitCol string) (*ShardedTable, int, error) {
+	if t == nil {
+		return nil, 0, fmt.Errorf("%w: sharded table parent", ErrNilTable)
+	}
+	col := t.Column(splitCol)
+	if col == nil {
+		return nil, 0, fmt.Errorf("feataug: no split column %q", splitCol)
+	}
+	if col.Kind() != dataframe.KindString {
+		return nil, 0, fmt.Errorf("feataug: split column %q is %s, want string", splitCol, col.Kind())
+	}
+	strs, valid := col.StrData(), col.ValidData()
+	byValue := map[string][]int{}
+	var names []string
+	nulls := 0
+	for i, s := range strs {
+		if !valid[i] {
+			nulls++
+			continue
+		}
+		if _, ok := byValue[s]; !ok {
+			names = append(names, s)
+		}
+		byValue[s] = append(byValue[s], i)
+	}
+	if len(names) == 0 {
+		return nil, 0, fmt.Errorf("feataug: split column %q has no non-NULL values", splitCol)
+	}
+	sortStrings(names)
+	st := &ShardedTable{parent: t, names: names}
+	for _, name := range names {
+		st.shards = append(st.shards, t.Shard(byValue[name]))
+	}
+	return st, nulls, nil
+}
+
+// NewShardedTableRanges partitions t into k contiguous row-range shards named
+// shard0..shard<k-1> (sizes differ by at most one row; trailing shards may be
+// empty when k exceeds the row count). The k=GOMAXPROCS shape is the generic
+// scan-parallel partition when no natural split column exists.
+func NewShardedTableRanges(t *dataframe.Table, k int) (*ShardedTable, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: sharded table parent", ErrNilTable)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("feataug: sharded table needs k >= 1 shards, got %d", k)
+	}
+	n := t.NumRows()
+	st := &ShardedTable{parent: t}
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		rows := make([]int, size)
+		for j := range rows {
+			rows[j] = lo + j
+		}
+		lo += size
+		st.names = append(st.names, fmt.Sprintf("shard%d", i))
+		st.shards = append(st.shards, t.Shard(rows))
+	}
+	return st, nil
+}
+
+// Parent returns the shared physical table the shards partition.
+func (st *ShardedTable) Parent() *dataframe.Table { return st.parent }
+
+// NumShards returns the number of shards.
+func (st *ShardedTable) NumShards() int { return len(st.shards) }
+
+// ShardNames returns the shard names in shard order. The slice is shared;
+// callers must not mutate it.
+func (st *ShardedTable) ShardNames() []string { return st.names }
+
+// Shard returns shard i (a provenance-carrying table; see dataframe.Shard).
+func (st *ShardedTable) Shard(i int) *dataframe.Table { return st.shards[i] }
+
+// Inputs materialises the sharded table as a FitMulti input set: one
+// RelevantInput per shard, named by shard name, all sharing the given keys
+// and attribute configuration. FitMulti detects the shared parent and logs
+// one merged executor-stats block for the set.
+func (st *ShardedTable) Inputs(keys, aggAttrs, predAttrs []string) []RelevantInput {
+	inputs := make([]RelevantInput, len(st.shards))
+	for i, s := range st.shards {
+		inputs[i] = RelevantInput{
+			Name:      st.names[i],
+			Table:     s,
+			Keys:      keys,
+			AggAttrs:  aggAttrs,
+			PredAttrs: predAttrs,
+		}
+	}
+	return inputs
+}
+
+// Router returns one executor answering queries over the logical table the
+// shards partition (their union), sharing its scans with the per-shard
+// executors. See query.NewShardedExecutor for the overlap and bit-identity
+// contract.
+func (st *ShardedTable) Router(opts ...query.ExecutorOption) (*query.Executor, error) {
+	return query.NewShardedExecutor(st.shards, opts...)
+}
+
+// sortStrings is a tiny insertion sort: split-value sets are small (cmd caps
+// them at 16) and this avoids pulling sort into the hot import graph twice.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

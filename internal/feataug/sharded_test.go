@@ -1,0 +1,302 @@
+package feataug
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dataframe"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+)
+
+func shardedFixtureTable(n int) *dataframe.Table {
+	k1 := make([]int64, n)
+	x := make([]float64, n)
+	grp := make([]string, n)
+	grpValid := make([]bool, n)
+	groups := []string{"b", "a", "c"}
+	for i := 0; i < n; i++ {
+		k1[i] = int64(i % 10)
+		x[i] = float64(i)*1.25 - 30
+		grp[i] = groups[i%3]
+		grpValid[i] = i%17 != 0 // sprinkle NULL split values
+	}
+	return dataframe.MustNewTable(
+		dataframe.NewIntColumn("k1", k1, nil),
+		dataframe.NewFloatColumn("x", x, nil),
+		dataframe.NewStringColumn("grp", grp, grpValid),
+	)
+}
+
+func TestShardedTableByValues(t *testing.T) {
+	tbl := shardedFixtureTable(100)
+	st, nulls, err := NewShardedTableByValues(tbl, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Parent() != tbl {
+		t.Fatal("parent pointer diverged")
+	}
+	wantNulls := 0
+	for i := 0; i < 100; i += 17 {
+		wantNulls++
+	}
+	if nulls != wantNulls {
+		t.Fatalf("nulls = %d, want %d", nulls, wantNulls)
+	}
+	names := st.ShardNames()
+	if st.NumShards() != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("shard names = %v, want sorted [a b c]", names)
+	}
+	rowsTotal := 0
+	grpCol := tbl.Column("grp")
+	for i := 0; i < st.NumShards(); i++ {
+		sh := st.Shard(i)
+		parent, rows, ok := sh.ShardOf()
+		if !ok || parent != tbl {
+			t.Fatalf("shard %d lost provenance", i)
+		}
+		for _, r := range rows {
+			if grpCol.IsNull(r) || grpCol.Str(r) != names[i] {
+				t.Fatalf("shard %q contains parent row %d with wrong split value", names[i], r)
+			}
+		}
+		rowsTotal += sh.NumRows()
+	}
+	if rowsTotal+nulls != tbl.NumRows() {
+		t.Fatalf("shards cover %d rows + %d NULLs, want %d total", rowsTotal, nulls, tbl.NumRows())
+	}
+
+	inputs := st.Inputs([]string{"k1"}, []string{"x"}, nil)
+	if len(inputs) != 3 {
+		t.Fatalf("Inputs returned %d entries", len(inputs))
+	}
+	for i, in := range inputs {
+		if in.Name != names[i] || in.Table != st.Shard(i) || in.Keys[0] != "k1" || in.AggAttrs[0] != "x" {
+			t.Fatalf("input %d = %+v malformed", i, in)
+		}
+	}
+
+	// Error paths.
+	if _, _, err := NewShardedTableByValues(nil, "grp"); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, _, err := NewShardedTableByValues(tbl, "ghost"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, _, err := NewShardedTableByValues(tbl, "x"); err == nil {
+		t.Error("non-string column should fail")
+	}
+	allNull := dataframe.MustNewTable(
+		dataframe.NewStringColumn("g", []string{"x", "y"}, []bool{false, false}))
+	if _, _, err := NewShardedTableByValues(allNull, "g"); err == nil {
+		t.Error("all-NULL split column should fail")
+	}
+}
+
+func TestShardedTableRanges(t *testing.T) {
+	tbl := shardedFixtureTable(10)
+	st, err := NewShardedTableRanges(tbl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{4, 3, 3}
+	next := 0
+	for i := 0; i < st.NumShards(); i++ {
+		sh := st.Shard(i)
+		if sh.NumRows() != sizes[i] {
+			t.Fatalf("shard %d has %d rows, want %d", i, sh.NumRows(), sizes[i])
+		}
+		_, rows, ok := sh.ShardOf()
+		if !ok {
+			t.Fatalf("shard %d lost provenance", i)
+		}
+		for _, r := range rows {
+			if r != next {
+				t.Fatalf("shard %d not contiguous: row %d, want %d", i, r, next)
+			}
+			next++
+		}
+	}
+	if got := st.ShardNames(); got[0] != "shard0" || got[2] != "shard2" {
+		t.Fatalf("names = %v", got)
+	}
+
+	// k beyond the row count leaves trailing shards empty but legal.
+	st, err = NewShardedTableRanges(tbl, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < st.NumShards(); i++ {
+		total += st.Shard(i).NumRows()
+	}
+	if st.NumShards() != 12 || total != 10 {
+		t.Fatalf("k=12: %d shards cover %d rows, want 12 / 10", st.NumShards(), total)
+	}
+	if st.Shard(11).NumRows() != 0 {
+		t.Fatal("trailing shard should be empty")
+	}
+
+	if _, err := NewShardedTableRanges(tbl, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewShardedTableRanges(nil, 2); err == nil {
+		t.Error("nil table should fail")
+	}
+}
+
+// TestShardedTableRouter requires Router() to answer logical-table queries
+// bit-identically to a plain executor over the parent, when the shards cover
+// every row.
+func TestShardedTableRouter(t *testing.T) {
+	n := 120
+	k1 := make([]int64, n)
+	x := make([]float64, n)
+	grp := make([]string, n)
+	groups := []string{"b", "a", "c"}
+	for i := 0; i < n; i++ {
+		k1[i] = int64(i % 10)
+		x[i] = float64(i)*1.25 - 30
+		grp[i] = groups[i%3]
+	}
+	tbl := dataframe.MustNewTable(
+		dataframe.NewIntColumn("k1", k1, nil),
+		dataframe.NewFloatColumn("x", x, nil),
+		dataframe.NewStringColumn("grp", grp, nil),
+	)
+	dk := make([]int64, 40)
+	for i := range dk {
+		dk[i] = int64(i % 10)
+	}
+	d := dataframe.MustNewTable(dataframe.NewIntColumn("k1", dk, nil))
+
+	st, nulls, err := NewShardedTableByValues(tbl, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nulls != 0 {
+		t.Fatalf("nulls = %d, want 0 (full cover fixture)", nulls)
+	}
+	router, err := st.Router(query.WithScanScheduler(query.NewScanScheduler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []query.Query{
+		{Agg: agg.Sum, AggAttr: "x", Keys: []string{"k1"}},
+		{Agg: agg.Avg, AggAttr: "x", Keys: []string{"k1"}},
+		{Agg: agg.Median, AggAttr: "x", Keys: []string{"k1"},
+			Preds: []query.Predicate{{Attr: "x", Kind: query.PredRange, HasLo: true, Lo: 0}}},
+	}
+	gotV, gotOK, err := router.AugmentValuesBatch(d, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantOK, err := query.NewExecutor(tbl).AugmentValuesBatch(d, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range qs {
+		for row := range wantV[qi] {
+			if gotV[qi][row] != wantV[qi][row] || gotOK[qi][row] != wantOK[qi][row] {
+				t.Fatalf("query %d row %d: router (%v,%v) != parent (%v,%v)",
+					qi, row, gotV[qi][row], gotOK[qi][row], wantV[qi][row], wantOK[qi][row])
+			}
+		}
+	}
+}
+
+func TestShardedInputsDetection(t *testing.T) {
+	parent := shardedFixtureTable(30)
+	other := shardedFixtureTable(30)
+	a, b := parent.Shard([]int{0, 1, 2}), parent.Shard([]int{3, 4})
+	cases := []struct {
+		name   string
+		inputs []RelevantInput
+		want   bool
+	}{
+		{"two shards one parent", []RelevantInput{{Table: a}, {Table: b}}, true},
+		{"single input", []RelevantInput{{Table: a}}, false},
+		{"plain tables", []RelevantInput{{Table: parent}, {Table: other}}, false},
+		{"mixed provenance", []RelevantInput{{Table: a}, {Table: other}}, false},
+		{"different parents", []RelevantInput{{Table: a}, {Table: other.Shard([]int{0})}}, false},
+	}
+	for _, c := range cases {
+		if got := shardedInputs(c.inputs); got != c.want {
+			t.Errorf("%s: shardedInputs = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFitMultiShardedMergedStats runs FitMulti over shards of one relevant
+// table and requires -v-style logging to carry exactly ONE merged
+// executor-stats block for the set, instead of one interleaved block per
+// shard.
+func TestFitMultiShardedMergedStats(t *testing.T) {
+	users := dataframe.MustNewTable(
+		dataframe.NewIntColumn("user_id", []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}, nil),
+		dataframe.NewIntColumn("age", []int64{20, 30, 40, 50, 25, 35, 45, 55, 22, 33, 44, 56, 21, 31, 41, 51, 26, 36, 46, 57}, nil),
+		dataframe.NewIntColumn("label", []int64{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}, nil),
+	)
+	var (
+		uid []int64
+		amt []float64
+	)
+	for u := int64(1); u <= 20; u++ {
+		for j := int64(0); j < 3; j++ {
+			uid = append(uid, u)
+			base := float64(10)
+			if u%2 == 1 {
+				base = 50
+			}
+			amt = append(amt, base+float64(j))
+		}
+	}
+	orders := dataframe.MustNewTable(
+		dataframe.NewIntColumn("user_id", uid, nil),
+		dataframe.NewFloatColumn("amount", amt, nil),
+	)
+	st, err := NewShardedTableRanges(orders, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pipeline.Problem{
+		Train: users, Label: "label", Task: ml.Binary,
+		BaseFeatures: []string{"age"},
+		Relevant:     orders, Keys: []string{"user_id"},
+	}
+	cfg := Config{Seed: 2, WarmupIters: 6, WarmupTopK: 2, GenIters: 2,
+		NumTemplates: 1, QueriesPerTemplate: 1, MaxDepth: 1, TemplateProxyIters: 3}
+	var mu sync.Mutex
+	var lines []string
+	_, err = FitMulti(context.Background(), base,
+		st.Inputs([]string{"user_id"}, []string{"amount"}, nil),
+		WithConfig(cfg), WithModel(ml.KindLR),
+		WithLogf(func(format string, args ...interface{}) {
+			mu.Lock()
+			defer mu.Unlock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, perSource := 0, 0
+	for _, l := range lines {
+		if strings.Contains(l, "merged executor stats") {
+			merged++
+		} else if strings.Contains(l, "executor stats") {
+			perSource++
+		}
+	}
+	if merged != 1 {
+		t.Errorf("merged stats lines = %d, want exactly 1", merged)
+	}
+	if perSource != 0 {
+		t.Errorf("per-source stats lines = %d, want 0 (suppressed for sharded sources)", perSource)
+	}
+}

@@ -47,18 +47,26 @@ func (e *Executor) countingScan() {
 	e.mu.Unlock()
 }
 
-// domain returns the cached probe for col, running it on first use.
+// domain returns the cached probe for col, running it on first use. Probes
+// live in the shared core (they depend only on the column), so sibling shard
+// executors run each probe — a full-table pass — once between them.
 func (e *Executor) domain(col *dataframe.Column) *domainEntry {
-	e.mu.Lock()
-	if e.domains == nil {
-		e.domains = map[string]*domainEntry{}
+	c := e.core
+	c.mu.Lock()
+	if c.domains == nil {
+		c.domains = map[string]*domainEntry{}
 	}
-	ent, ok := e.domains[col.Name()]
+	ent, ok := c.domains[col.Name()]
 	if !ok {
 		ent = &domainEntry{}
-		e.domains[col.Name()] = ent
+		c.domains[col.Name()] = ent
 	}
-	e.mu.Unlock()
+	c.mu.Unlock()
+	if !ok {
+		e.mu.Lock()
+		e.stats.SharedScanPasses++
+		e.mu.Unlock()
+	}
 	ent.once.Do(func() { ent.probe(col) })
 	return ent
 }

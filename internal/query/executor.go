@@ -33,13 +33,30 @@ import (
 //     group-discovery result (local / repr / counts), so any later query —
 //     or whole batch — on the same plan group skips discovery entirely.
 //
+// The table-scoped caches (group indexes, bitmaps, masks, float views, domain
+// probes) live in a tableCore (see scheduler.go). An ordinary executor owns a
+// private core; an executor over a shard table (dataframe.Shard) scans its
+// parent through a ScanScheduler-shared core, restricted to the shard's rows,
+// so k executors over shards of one table run each table pass once between
+// them. Scans walk the table morsel by morsel (dataframe.MorselBounds),
+// observing cancellation at every boundary.
+//
 // On top of the caches, the batch entry points (ExecuteBatch, AugmentBatch,
 // AugmentValuesBatch) run fused: the batch is grouped by plan group and each
 // group's aggregates stream through shared scans instead of one two-pass scan
 // per query (see fused.go). All methods are safe for concurrent use; batches
 // evaluate on a bounded worker pool.
 type Executor struct {
-	r *dataframe.Table
+	r    *dataframe.Table
+	core *tableCore // scan-side caches of the physical table core.t
+	// Shard restriction: when the executor's table is a shard, core.t is the
+	// parent and shardRows lists the parent rows the shard holds, in shard row
+	// order; scans visit only those rows. sharded distinguishes an empty shard
+	// from no shard.
+	shardRows     []int
+	sharded       bool
+	sched         *ScanScheduler // nil = private core
+	optMorselRows int            // WithMorselRows, private cores only
 	// Parallelism bounds the batch worker pool; 0 means GOMAXPROCS.
 	Parallelism int
 	// DisableFusion forces the batch entry points through the per-query core
@@ -58,16 +75,10 @@ type Executor struct {
 
 	joinCache *JoinCache // train-side index sharing; ProcessJoinCache by default
 
-	mu      sync.Mutex
-	groups  map[string]*groupEntry
-	preds   map[string]*predEntry
-	masks   map[string]*maskEntry
-	plans   map[planKey]*planEntry
-	joins   map[joinKey]*joinEntry
-	views   map[string][]float64    // per-column float views (int/time/bool)
-	domains map[string]*domainEntry // per-column low-cardinality domain probes
-	allRows []int                   // lazily built identity row list for predicate-free plans
-	stats   ExecutorStats
+	mu    sync.Mutex
+	plans map[planKey]*planEntry
+	joins map[joinKey]*joinEntry
+	stats ExecutorStats
 }
 
 // ExecutorStats is a point-in-time snapshot of the executor's cache and scan
@@ -96,7 +107,18 @@ type ExecutorStats struct {
 	// (1.0 = the per-query path).
 	ScatterPasses, ScatterQueries int64
 	CountingScans                 int64 // fused sorts served by the counting path
-	Evictions                     int64 // whole-cache drops across bounded caches
+	// Cross-executor scan sharing (ScanScheduler): full-table passes this
+	// executor ran to build a shared-core entry (group index, predicate
+	// bitmap, float view, domain probe) vs lookups that subscribed to an entry
+	// another executor over the same core had already built. k executors over
+	// shards of one table converge on one set of passes between them, so
+	// summed SharedScanPasses stays near a single executor's count while
+	// SharedScanSubscribers absorbs the rest.
+	SharedScanPasses, SharedScanSubscribers int64
+	// MorselsScanned counts the morsel segments the executor's scans walked
+	// (discovery, attribute and scatter passes all run morsel by morsel).
+	MorselsScanned int64
+	Evictions      int64 // whole-cache drops across bounded caches
 }
 
 // Add returns the field-wise sum of two snapshots. Multi-table transformers
@@ -121,6 +143,9 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 	s.ScatterPasses += o.ScatterPasses
 	s.ScatterQueries += o.ScatterQueries
 	s.CountingScans += o.CountingScans
+	s.SharedScanPasses += o.SharedScanPasses
+	s.SharedScanSubscribers += o.SharedScanSubscribers
+	s.MorselsScanned += o.MorselsScanned
 	s.Evictions += o.Evictions
 	return s
 }
@@ -128,12 +153,14 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 // String renders the snapshot as one compact log line.
 func (s ExecutorStats) String() string {
 	return fmt.Sprintf(
-		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, %d evictions",
+		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, shared-scans %d passes / %d subscribed, %d morsels, %d evictions",
 		s.GroupHits, s.GroupMisses, s.MaskHits, s.MaskMisses, s.PredHits, s.PredMisses,
 		s.PlanHits, s.PlanMisses, s.JoinHits, s.JoinMisses,
 		s.SharedJoinHits, s.SharedJoinMisses,
 		s.FusedQueries, s.FusedScans, s.CountingScans, s.CoreQueries,
-		s.ScatterQueries, s.ScatterPasses, s.Evictions+s.SharedJoinEvictions)
+		s.ScatterQueries, s.ScatterPasses,
+		s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned,
+		s.Evictions+s.SharedJoinEvictions)
 }
 
 // Stats returns a snapshot of the executor's counters.
@@ -156,26 +183,29 @@ const (
 )
 
 type groupEntry struct {
-	once sync.Once
-	idx  *dataframe.GroupIndex
-	err  error
+	once  sync.Once
+	owner *Executor // executor that created the entry (subscriber accounting)
+	idx   *dataframe.GroupIndex
+	err   error
 }
 
 // predEntry caches the full-table row bitmap of one predicate.
 type predEntry struct {
-	once sync.Once
-	bits []uint64 // 1 bit per row, LSB-first within each word
-	err  error
+	once  sync.Once
+	owner *Executor
+	bits  []uint64 // 1 bit per row, LSB-first within each word
+	err   error
 }
 
 // maskEntry caches one canonical WHERE clause: the intersected bitmap plus
 // the materialised matching-row indices in ascending order, so a cached mask
 // costs neither the intersection nor the bitmap walk again.
 type maskEntry struct {
-	once sync.Once
-	bits []uint64
-	rows []int
-	err  error
+	once  sync.Once
+	owner *Executor
+	bits  []uint64
+	rows  []int
+	err   error
 }
 
 // planKey identifies a plan group: one GROUP BY key-set combined with one
@@ -193,10 +223,11 @@ type planKey struct {
 type planEntry struct {
 	once   sync.Once
 	gi     *dataframe.GroupIndex
-	rows   []int // matching rows ascending; identity list when mask-free
-	local  []int // gid -> local index + 1; 0 = group empty under the mask
-	repr   []int // local -> representative (first matching) row
-	counts []int // local -> total matching rows
+	rows   []int    // matching rows in scan order; identity list when mask-free
+	segs   [][2]int // morsel segments of rows (index ranges; see morselSegments)
+	local  []int    // gid -> local index + 1; 0 = group empty under the mask
+	repr   []int    // local -> representative (first matching) row
+	counts []int    // local -> total matching rows
 	err    error
 }
 
@@ -217,17 +248,35 @@ func WithJoinCache(c *JoinCache) ExecutorOption {
 
 // NewExecutor builds an executor over one relevant table. The table must not
 // be mutated while the executor is in use (caches index into its rows).
+//
+// A table built by dataframe.Shard is scanned through its PARENT: the
+// executor restricts every plan to the shard's rows but takes its scan-side
+// caches from a scheduler-shared core of the parent (the process-level
+// scheduler unless WithScanScheduler overrides it), so executors over sibling
+// shards share table passes. Results are bit-identical to an executor over
+// the materialised shard (the differential tests enforce it).
 func NewExecutor(r *dataframe.Table, opts ...ExecutorOption) *Executor {
 	e := &Executor{
 		r:         r,
 		joinCache: processJoins,
-		groups:    map[string]*groupEntry{},
-		preds:     map[string]*predEntry{},
-		masks:     map[string]*maskEntry{},
 		plans:     map[planKey]*planEntry{},
 	}
 	for _, opt := range opts {
 		opt(e)
+	}
+	scan := r
+	if parent, rows, ok := r.ShardOf(); ok {
+		scan = parent
+		e.shardRows = rows
+		e.sharded = true
+		if e.sched == nil {
+			e.sched = processScheduler
+		}
+	}
+	if e.sched != nil {
+		e.core = e.sched.coreFor(scan)
+	} else {
+		e.core = newTableCore(scan, e.optMorselRows)
 	}
 	return e
 }
@@ -255,17 +304,51 @@ func boundedGet[K comparable, V any](m *map[K]*V, k K, max int, hits, misses, ev
 	return ent
 }
 
+// noteShared records the outcome of one shared-core cache lookup: hits count
+// as usual and additionally as SharedScanSubscribers when the entry was built
+// by a different executor over the same core; misses count as usual and, when
+// the entry's build is a full-table pass (group index, predicate bitmap — not
+// a mask intersection), as SharedScanPasses.
+func (e *Executor) noteShared(hit, evicted bool, owner *Executor, hits, misses *int64, pass bool) {
+	e.mu.Lock()
+	if hit {
+		*hits++
+		if owner != e {
+			e.stats.SharedScanSubscribers++
+		}
+	} else {
+		*misses++
+		if pass {
+			e.stats.SharedScanPasses++
+		}
+	}
+	if evicted {
+		e.stats.Evictions++
+	}
+	e.mu.Unlock()
+}
+
+// noteMorsel records one morsel segment walked by a scan.
+func (e *Executor) noteMorsel() {
+	e.mu.Lock()
+	e.stats.MorselsScanned++
+	e.mu.Unlock()
+}
+
 // groupIndex returns the cached GroupIndex for a key-set, building it on
 // first use. Key order matters (it fixes the output column order), so the
-// cache key preserves it.
+// cache key preserves it. The index lives in the shared core and covers the
+// full scan table (the parent, for shard executors).
 func (e *Executor) groupIndex(keys []string) (*dataframe.GroupIndex, error) {
 	k := strings.Join(keys, "\x1f")
-	e.mu.Lock()
-	ent := boundedGet(&e.groups, k, 1<<20, &e.stats.GroupHits, &e.stats.GroupMisses, &e.stats.Evictions,
-		func() *groupEntry { return &groupEntry{} })
-	e.mu.Unlock()
+	c := e.core
+	c.mu.Lock()
+	ent, hit, evicted := coreGet(&c.groups, k, 1<<20,
+		func() *groupEntry { return &groupEntry{owner: e} })
+	c.mu.Unlock()
+	e.noteShared(hit, evicted, ent.owner, &e.stats.GroupHits, &e.stats.GroupMisses, true)
 	ent.once.Do(func() {
-		ent.idx, ent.err = e.r.BuildGroupIndex(keys...)
+		ent.idx, ent.err = c.t.BuildGroupIndex(keys...)
 	})
 	return ent.idx, ent.err
 }
@@ -305,10 +388,12 @@ func predCacheKey(p Predicate) string {
 // evaluating it on first use.
 func (e *Executor) predMask(p Predicate) ([]uint64, error) {
 	k := predCacheKey(p)
-	e.mu.Lock()
-	ent := boundedGet(&e.preds, k, maxPredEntries, &e.stats.PredHits, &e.stats.PredMisses, &e.stats.Evictions,
-		func() *predEntry { return &predEntry{} })
-	e.mu.Unlock()
+	c := e.core
+	c.mu.Lock()
+	ent, hit, evicted := coreGet(&c.preds, k, maxPredEntries,
+		func() *predEntry { return &predEntry{owner: e} })
+	c.mu.Unlock()
+	e.noteShared(hit, evicted, ent.owner, &e.stats.PredHits, &e.stats.PredMisses, true)
 	ent.once.Do(func() {
 		ent.bits, ent.err = e.buildPredBits(p)
 	})
@@ -324,29 +409,40 @@ func (e *Executor) floatView(col *dataframe.Column) []float64 {
 	if col.Kind() == dataframe.KindFloat {
 		return col.FloatData()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.views == nil {
-		e.views = map[string][]float64{}
+	c := e.core
+	c.mu.Lock()
+	if c.views == nil {
+		c.views = map[string]*viewEntry{}
 	}
-	if v, ok := e.views[col.Name()]; ok {
-		return v
+	ent, hit := c.views[col.Name()]
+	if !hit {
+		ent = &viewEntry{}
+		c.views[col.Name()] = ent
 	}
-	v := make([]float64, col.Len())
-	switch col.Kind() {
-	case dataframe.KindInt, dataframe.KindTime:
-		for i, x := range col.IntData() {
-			v[i] = float64(x)
-		}
-	case dataframe.KindBool:
-		for i, x := range col.BoolData() {
-			if x {
-				v[i] = 1
+	c.mu.Unlock()
+	if !hit {
+		// Materialising a view walks the whole table once.
+		e.mu.Lock()
+		e.stats.SharedScanPasses++
+		e.mu.Unlock()
+	}
+	ent.once.Do(func() {
+		v := make([]float64, col.Len())
+		switch col.Kind() {
+		case dataframe.KindInt, dataframe.KindTime:
+			for i, x := range col.IntData() {
+				v[i] = float64(x)
+			}
+		case dataframe.KindBool:
+			for i, x := range col.BoolData() {
+				if x {
+					v[i] = 1
+				}
 			}
 		}
-	}
-	e.views[col.Name()] = v
-	return v
+		ent.vals = v
+	})
+	return ent.vals
 }
 
 // buildPredBits evaluates one predicate into a full-table bitmap through
@@ -354,11 +450,11 @@ func (e *Executor) floatView(col *dataframe.Column) []float64 {
 // per-row AsFloat calls). Semantics match Eval exactly: NULL rows never
 // match, bounds are inclusive.
 func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
-	col := e.r.Column(p.Attr)
+	col := e.core.t.Column(p.Attr)
 	if col == nil {
 		return nil, fmt.Errorf("query: predicate on missing column %q", p.Attr)
 	}
-	n := e.r.NumRows()
+	n := e.core.t.NumRows()
 	bm := make([]uint64, (n+63)/64)
 	set := func(i int) { bm[i>>6] |= 1 << uint(i&63) }
 	valid := col.ValidData()
@@ -475,10 +571,13 @@ func (e *Executor) whereEntry(preds []Predicate) (string, *maskEntry, error) {
 	if sig == "" {
 		return "", nil, nil
 	}
-	e.mu.Lock()
-	ent := boundedGet(&e.masks, sig, maxMaskEntries, &e.stats.MaskHits, &e.stats.MaskMisses, &e.stats.Evictions,
-		func() *maskEntry { return &maskEntry{} })
-	e.mu.Unlock()
+	c := e.core
+	c.mu.Lock()
+	ent, hit, evicted := coreGet(&c.masks, sig, maxMaskEntries,
+		func() *maskEntry { return &maskEntry{owner: e} })
+	c.mu.Unlock()
+	// Mask intersection is bitmap arithmetic, not a table pass (pass=false).
+	e.noteShared(hit, evicted, ent.owner, &e.stats.MaskHits, &e.stats.MaskMisses, false)
 	ent.once.Do(func() {
 		var mask []uint64
 		for _, p := range decomposePreds(preds) {
@@ -520,21 +619,6 @@ func matchedRows(mask []uint64) []int {
 	return rows
 }
 
-// rowIdentity returns the shared 0..n-1 row list, built once per executor, so
-// predicate-free plans can scan through the same []int-driven loops as masked
-// plans without a per-query allocation.
-func (e *Executor) rowIdentity() []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.allRows == nil {
-		e.allRows = make([]int, e.r.NumRows())
-		for i := range e.allRows {
-			e.allRows[i] = i
-		}
-	}
-	return e.allRows
-}
-
 // countScan bumps the shared-scan counter (one full pass over a plan group's
 // matching rows).
 func (e *Executor) countScan() {
@@ -543,11 +627,26 @@ func (e *Executor) countScan() {
 	e.mu.Unlock()
 }
 
+// shardMaskRows filters the shard's row list by a WHERE bitmap over the
+// parent table, preserving shard row order — the exact row sequence an
+// executor over the materialised shard would scan for the same mask.
+func shardMaskRows(shardRows []int, bits []uint64) []int {
+	rows := make([]int, 0, len(shardRows))
+	for _, i := range shardRows {
+		if bits[i>>6]&(1<<uint(i&63)) != 0 {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
 // plan returns the cached plan-group entry for (keys, preds), running the
 // group-discovery scan on first use: the non-empty groups under the WHERE
 // mask in first-seen order over the matching rows (matching Query.Execute's
 // output order), with total matching rows per group. Later queries on the
 // same plan group — from any batch — skip straight to their value passes.
+// A shard executor's plans cover only its shard's rows; the row list is
+// pre-split into morsel segments, the unit every downstream scan walks.
 func (e *Executor) plan(keys []string, preds []Predicate) (*planEntry, error) {
 	gi, err := e.groupIndex(keys)
 	if err != nil {
@@ -564,25 +663,34 @@ func (e *Executor) plan(keys []string, preds []Predicate) (*planEntry, error) {
 	e.mu.Unlock()
 	ent.once.Do(func() {
 		ent.gi = gi
-		if me != nil {
+		switch {
+		case me != nil && e.sharded:
+			ent.rows = shardMaskRows(e.shardRows, me.bits)
+		case me != nil:
 			ent.rows = me.rows
-		} else {
-			ent.rows = e.rowIdentity()
+		case e.sharded:
+			ent.rows = e.shardRows
+		default:
+			ent.rows = e.core.rowIdentity()
 		}
+		ent.segs = morselSegments(ent.rows, e.core.morselRows)
 		e.countScan()
 		rowGID := gi.RowGroups()
 		local := make([]int, gi.NumGroups())
 		var repr, counts []int
-		for _, i := range ent.rows {
-			gid := rowGID[i]
-			li := local[gid]
-			if li == 0 {
-				repr = append(repr, i)
-				counts = append(counts, 0)
-				li = len(repr)
-				local[gid] = li
+		for _, sg := range ent.segs {
+			e.noteMorsel()
+			for _, i := range ent.rows[sg[0]:sg[1]] {
+				gid := rowGID[i]
+				li := local[gid]
+				if li == 0 {
+					repr = append(repr, i)
+					counts = append(counts, 0)
+					li = len(repr)
+					local[gid] = li
+				}
+				counts[li-1]++
 			}
-			counts[li-1]++
 		}
 		ent.local, ent.repr, ent.counts = local, repr, counts
 	})
@@ -687,7 +795,9 @@ func (e *Executor) executeCore(q Query) (execResult, error) {
 	if len(q.Keys) == 0 {
 		return execResult{}, fmt.Errorf("query: execute with no group-by keys")
 	}
-	aggCol := e.r.Column(q.AggAttr)
+	// Plan rows index the physical scan table (the parent, for shard
+	// executors), so the aggregation column must come from it too.
+	aggCol := e.core.t.Column(q.AggAttr)
 	if aggCol == nil {
 		return execResult{}, fmt.Errorf("query: no aggregation column %q", q.AggAttr)
 	}

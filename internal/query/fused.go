@@ -135,7 +135,7 @@ func (e *Executor) executeGrouped(ctx context.Context, qs []Query, order []*fuse
 		if len(q.Keys) == 0 {
 			return nil, fmt.Errorf("%s: query: execute with no group-by keys", q.SQL("R"))
 		}
-		if e.r.Column(q.AggAttr) == nil {
+		if e.core.t.Column(q.AggAttr) == nil {
 			return nil, fmt.Errorf("%s: query: no aggregation column %q", q.SQL("R"), q.AggAttr)
 		}
 	}
@@ -260,7 +260,9 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 	for _, pair := range g.order {
 		as, ok := attrs[pair.attr]
 		if !ok {
-			col := e.r.Column(pair.attr)
+			// Plan rows index the physical scan table (the parent, for shard
+			// executors), so attribute columns must come from it.
+			col := e.core.t.Column(pair.attr)
 			as = &attrScan{
 				useString: col.Kind() == dataframe.KindString,
 				col:       col,
@@ -322,7 +324,9 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 					as.dom = dom
 				}
 			}
-			as.scan(e, pe, ngroups)
+			if err := as.scan(ctx, e, pe, ngroups); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 
@@ -348,14 +352,19 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 // centered moments. Both shapes accumulate in matching-row order, the exact
 // order of agg.Func.Apply over the per-query core's buffers, so every result
 // is bit-identical.
-func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
+//
+// Every pass walks the plan's morsel segments (pe.segs), observing the
+// context at each boundary; fill pointers and accumulators carry across
+// segments in row order — the sequential merge that keeps floating-point
+// accumulation bit-identical to the flat loop (independent per-morsel
+// partials would reassociate the sums).
+func (as *attrScan) scan(ctx context.Context, e *Executor, pe *planEntry, ngroups int) error {
 	e.countScan()
 	local, rowGID := pe.local, pe.gi.RowGroups()
 	valid := as.valid
 
 	if !as.needBuf {
-		as.streamScan(e, pe, ngroups)
-		return
+		return as.streamScan(ctx, e, pe, ngroups)
 	}
 
 	as.offs = make([]int, ngroups+1)
@@ -377,30 +386,42 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 			}
 			cbuf := as.cbuf[:as.offs[ngroups]]
 			codes, fill := as.dom.codes, as.fill
-			for _, i := range pe.rows {
-				if valid[i] {
-					li := local[rowGID[i]] - 1
-					cbuf[fill[li]] = codes[i]
-					fill[li]++
+			for _, sg := range pe.segs {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				e.noteMorsel()
+				for _, i := range pe.rows[sg[0]:sg[1]] {
+					if valid[i] {
+						li := local[rowGID[i]] - 1
+						cbuf[fill[li]] = codes[i]
+						fill[li]++
+					}
 				}
 			}
 			for li := 0; li < ngroups; li++ {
 				as.countingFillStrings(as.sbuf[as.offs[li]:fill[li]], cbuf[as.offs[li]:fill[li]], as.dom.svals, as.dom.k)
 			}
-			return
+			return nil
 		}
 		strs, sbuf, fill := as.strs, as.sbuf, as.fill
-		for _, i := range pe.rows {
-			if valid[i] {
-				li := local[rowGID[i]] - 1
-				sbuf[fill[li]] = strs[i]
-				fill[li]++
+		for _, sg := range pe.segs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e.noteMorsel()
+			for _, i := range pe.rows[sg[0]:sg[1]] {
+				if valid[i] {
+					li := local[rowGID[i]] - 1
+					sbuf[fill[li]] = strs[i]
+					fill[li]++
+				}
 			}
 		}
 		for li := 0; li < ngroups; li++ {
 			slices.Sort(sbuf[as.offs[li]:fill[li]])
 		}
-		return
+		return nil
 	}
 
 	as.fbuf = make([]float64, as.offs[ngroups])
@@ -408,11 +429,17 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 		e.countingScan()
 	}
 	fvals, fbuf, fill := as.fvals, as.fbuf, as.fill
-	for _, i := range pe.rows {
-		if valid[i] {
-			li := local[rowGID[i]] - 1
-			fbuf[fill[li]] = fvals[i]
-			fill[li]++
+	for _, sg := range pe.segs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.noteMorsel()
+		for _, i := range pe.rows[sg[0]:sg[1]] {
+			if valid[i] {
+				li := local[rowGID[i]] - 1
+				fbuf[fill[li]] = fvals[i]
+				fill[li]++
+			}
 		}
 	}
 
@@ -477,6 +504,7 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 			slices.Sort(seg)
 		}
 	}
+	return nil
 }
 
 // streamScan serves an attribute whose every requested function is streamable
@@ -484,8 +512,9 @@ func (as *attrScan) scan(e *Executor, pe *planEntry, ngroups int) {
 // materialising a value buffer: one indexed scan feeds the accumulators
 // directly, plus one more for the centered moments when the VAR/STD family or
 // KURTOSIS is present. Per-group encounter order equals matching-row order,
-// so accumulation is bit-identical to the buffered shape.
-func (as *attrScan) streamScan(e *Executor, pe *planEntry, ngroups int) {
+// so accumulation is bit-identical to the buffered shape. Both passes walk
+// the plan's morsel segments with accumulators carried across (see scan).
+func (as *attrScan) streamScan(ctx context.Context, e *Executor, pe *planEntry, ngroups int) error {
 	local, rowGID := pe.local, pe.gi.RowGroups()
 	valid, fvals := as.valid, as.fvals
 	as.nvalid = make([]int, ngroups)
@@ -493,28 +522,34 @@ func (as *attrScan) streamScan(e *Executor, pe *planEntry, ngroups int) {
 	as.min = make([]float64, ngroups)
 	as.max = make([]float64, ngroups)
 	nvalid, sum, mn, mx := as.nvalid, as.sum, as.min, as.max
-	for _, i := range pe.rows {
-		if !valid[i] {
-			continue
+	for _, sg := range pe.segs {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		li := local[rowGID[i]] - 1
-		v := fvals[i]
-		nv := nvalid[li]
-		nvalid[li] = nv + 1
-		sum[li] += v
-		if nv == 0 {
-			mn[li], mx[li] = v, v
-		} else {
-			if v < mn[li] {
-				mn[li] = v
+		e.noteMorsel()
+		for _, i := range pe.rows[sg[0]:sg[1]] {
+			if !valid[i] {
+				continue
 			}
-			if v > mx[li] {
-				mx[li] = v
+			li := local[rowGID[i]] - 1
+			v := fvals[i]
+			nv := nvalid[li]
+			nvalid[li] = nv + 1
+			sum[li] += v
+			if nv == 0 {
+				mn[li], mx[li] = v, v
+			} else {
+				if v < mn[li] {
+					mn[li] = v
+				}
+				if v > mx[li] {
+					mx[li] = v
+				}
 			}
 		}
 	}
 	if !as.needMoments {
-		return
+		return nil
 	}
 	e.countScan()
 	as.ss = make([]float64, ngroups)
@@ -528,25 +563,38 @@ func (as *attrScan) streamScan(e *Executor, pe *planEntry, ngroups int) {
 	if as.needM4 {
 		as.m4 = make([]float64, ngroups)
 		m4 := as.m4
-		for _, i := range pe.rows {
-			if !valid[i] {
-				continue
+		for _, sg := range pe.segs {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			li := local[rowGID[i]] - 1
-			d := fvals[i] - mean[li]
-			d2 := d * d
-			ss[li] += d2
-			m4[li] += d2 * d2
+			e.noteMorsel()
+			for _, i := range pe.rows[sg[0]:sg[1]] {
+				if !valid[i] {
+					continue
+				}
+				li := local[rowGID[i]] - 1
+				d := fvals[i] - mean[li]
+				d2 := d * d
+				ss[li] += d2
+				m4[li] += d2 * d2
+			}
 		}
-		return
+		return nil
 	}
-	for _, i := range pe.rows {
-		if valid[i] {
-			li := local[rowGID[i]] - 1
-			d := fvals[i] - mean[li]
-			ss[li] += d * d
+	for _, sg := range pe.segs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.noteMorsel()
+		for _, i := range pe.rows[sg[0]:sg[1]] {
+			if valid[i] {
+				li := local[rowGID[i]] - 1
+				d := fvals[i] - mean[li]
+				ss[li] += d * d
+			}
 		}
 	}
+	return nil
 }
 
 // extractPair turns one attribute's accumulators (or sorted buffers) into the

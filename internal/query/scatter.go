@@ -120,27 +120,37 @@ func (e *Executor) scatterBatch(ctx context.Context, d *dataframe.Table, qs []Qu
 		// The shared pass over the training table: resolve each row's local
 		// group once — the random-access half of the scatter (row -> train
 		// group -> plan-group slot) that the per-query path repeats for every
-		// query — into a compact sequential map.
+		// query — into a compact sequential map. The pass walks the training
+		// table morsel by morsel, observing the context at each boundary.
+		bounds := dataframe.MorselBounds(n, e.core.morselRows)
 		dRowGID := jn.idx.RowGroups()
 		rowLocal := grabInts32(&sc.rowLocal, n)
-		for row := 0; row < n; row++ {
-			rowLocal[row] = int32(dgToLocal[dRowGID[row]])
+		for _, bl := range bounds {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e.noteMorsel()
+			for row := bl[0]; row < bl[1]; row++ {
+				rowLocal[row] = int32(dgToLocal[dRowGID[row]])
+			}
 		}
 
 		// Column fills: pure sequential streams off the shared row map, with
 		// the miss/NULL branches pre-folded into the projection tables. The
-		// context is observed per column, so a huge single-group batch still
-		// cancels inside the batch loop.
+		// context is observed per (column, morsel), so a huge single-group
+		// batch still cancels inside the batch loop.
 		for ci := range cols {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
 			c := &cols[ci]
 			proj, cv, cok := c.proj, c.vals, c.valid
-			for row, li := range rowLocal {
-				p := proj[li]
-				cv[row] = p.v
-				cok[row] = p.ok
+			for _, bl := range bounds {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				for row := bl[0]; row < bl[1]; row++ {
+					p := proj[rowLocal[row]]
+					cv[row] = p.v
+					cok[row] = p.ok
+				}
 			}
 		}
 

@@ -351,6 +351,19 @@ func TestScatterStatsGolden(t *testing.T) {
 	if s.FusedQueries != 4 || s.CoreQueries != 0 {
 		t.Errorf("fused %d / core %d queries, want 4 / 0", s.FusedQueries, s.CoreQueries)
 	}
+	// Shared-scan counters: the private core pays one pass for the k1 group
+	// index and one for the x>=0 predicate bitmap ("x" is already a float
+	// column, so no view build); nothing is subscribed — one executor owns
+	// every entry. Both tables fit in one morsel, so MorselsScanned counts
+	// scans: discovery for each of the 2 plan groups, one streaming
+	// accumulator pass for group A (Sum/Avg share it; group B's Count needs
+	// no attribute scan), and one scatter resolve block per group.
+	if s.SharedScanPasses != 2 || s.SharedScanSubscribers != 0 {
+		t.Errorf("shared scans %d passes / %d subscribed, want 2 / 0", s.SharedScanPasses, s.SharedScanSubscribers)
+	}
+	if s.MorselsScanned != 5 {
+		t.Errorf("MorselsScanned = %d, want 5", s.MorselsScanned)
+	}
 	// A second batch on the warm executor: discovery and joins all cached,
 	// two more passes.
 	if _, _, err := ex.AugmentValuesBatch(d, qs); err != nil {
@@ -362,5 +375,15 @@ func TestScatterStatsGolden(t *testing.T) {
 	}
 	if s.SharedJoinMisses != 1 {
 		t.Errorf("after second batch: SharedJoinMisses = %d, want still 1", s.SharedJoinMisses)
+	}
+	// Discovery and the core entries are cached, so the warm batch adds no
+	// shared-scan passes; it re-runs group A's streaming pass and both
+	// groups' scatter resolves (3 more morsels).
+	if s.SharedScanPasses != 2 || s.SharedScanSubscribers != 0 {
+		t.Errorf("after second batch: shared scans %d passes / %d subscribed, want still 2 / 0",
+			s.SharedScanPasses, s.SharedScanSubscribers)
+	}
+	if s.MorselsScanned != 8 {
+		t.Errorf("after second batch: MorselsScanned = %d, want 8", s.MorselsScanned)
 	}
 }

@@ -1,0 +1,68 @@
+package query
+
+// The sharded-table router. k executors over shards of one table answer
+// shard-local queries; a router answers queries over the LOGICAL table the
+// shards partition. Rather than merging per-shard partial aggregates — which
+// would reassociate floating-point accumulation and break the repo's
+// bit-identity contract — the router is itself an ordinary executor over the
+// union shard: the parent restricted to the shards' combined rows, scanned in
+// ascending parent order through the same scheduler-shared core the per-shard
+// executors use. Every result is therefore bit-identical to a single executor
+// over the materialised union by construction, and the router's scans share
+// the parent's group indexes, bitmaps, views and domains with its shards'
+// executors (SharedScanSubscribers makes the overlap observable).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataframe"
+)
+
+// NewShardedExecutor builds the router executor over the logical table a set
+// of shards (tables built by dataframe.Shard) partitions. All shards must
+// come from the same parent and must not overlap; empty shards are legal.
+// When the shards cover the parent completely the router IS an executor over
+// the parent itself — the common :split= shape, where the split column
+// partitions every row. The router defaults to the process-level
+// ScanScheduler (like any shard executor); pass WithScanScheduler to scope
+// sharing explicitly.
+func NewShardedExecutor(shards []*dataframe.Table, opts ...ExecutorOption) (*Executor, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("query: sharded executor needs at least one shard")
+	}
+	var parent *dataframe.Table
+	var union []int
+	for i, s := range shards {
+		p, rows, ok := s.ShardOf()
+		if !ok {
+			return nil, fmt.Errorf("query: shard %d has no shard provenance (build shards with Table.Shard)", i)
+		}
+		if parent == nil {
+			parent = p
+		} else if p != parent {
+			return nil, fmt.Errorf("query: shard %d comes from a different parent table", i)
+		}
+		union = append(union, rows...)
+	}
+	for _, r := range union {
+		if r < 0 || r >= parent.NumRows() {
+			return nil, fmt.Errorf("query: shard row %d out of range (parent has %d rows)", r, parent.NumRows())
+		}
+	}
+	sort.Ints(union)
+	for i := 1; i < len(union); i++ {
+		if union[i] == union[i-1] {
+			return nil, fmt.Errorf("query: shards overlap at parent row %d", union[i])
+		}
+	}
+	// The union executor must share the per-shard executors' core, so thread
+	// the default scheduler first and let caller options override it.
+	opts = append([]ExecutorOption{WithScanScheduler(processScheduler)}, opts...)
+	if len(union) == parent.NumRows() {
+		// Sorted, distinct and in range: the shards partition the parent
+		// exactly, so the router scans the parent directly.
+		return NewExecutor(parent, opts...), nil
+	}
+	return NewExecutor(parent.Shard(union), opts...), nil
+}

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/dataframe"
+)
+
+// shardedBenchSetup splits the PR 5 serving pool's relevant table into k=4
+// contiguous shards — once with provenance (the shared-scan path) and once
+// materialised with Take (the PR 5 shared-nothing path) — so the two sharded
+// benchmarks run the same bytes through the two architectures.
+const shardedBenchK = 4
+
+func shardedBenchSetup(nQueries, nRows int) (r, d *dataframe.Table, qs []Query, provShards, takeShards []*dataframe.Table) {
+	r, d, qs = servingBenchPool(nQueries, nRows)
+	provShards = rangeShards(r, shardedBenchK)
+	takeShards = make([]*dataframe.Table, shardedBenchK)
+	for i, sh := range provShards {
+		_, rows, _ := sh.ShardOf()
+		takeShards[i] = r.Take(rows)
+	}
+	return
+}
+
+// runShardedBench drives one cold executor per shard through the serving
+// batch and returns the summed shared-scan pass count — the acceptance
+// counter: provenance shards on one scheduler converge on one set of passes
+// (SharedScanPasses ≈ a single executor's count) while materialised shards
+// pay k× that.
+func runShardedBench(b *testing.B, shards []*dataframe.Table, d *dataframe.Table, qs []Query, sched *ScanScheduler) int64 {
+	jc := NewJoinCache()
+	var passes int64
+	for _, sh := range shards {
+		opts := []ExecutorOption{WithJoinCache(jc)}
+		if sched != nil {
+			opts = append(opts, WithScanScheduler(sched))
+		}
+		ex := NewExecutor(sh, opts...)
+		if _, _, err := ex.AugmentValuesBatch(d, qs); err != nil {
+			b.Fatal(err)
+		}
+		passes += ex.Stats().SharedScanPasses
+	}
+	return passes
+}
+
+// BenchmarkShardedSharedScan measures the morsel-driven shared-scan path on a
+// sharded pool: k=4 provenance shards of the serving pool's relevant table,
+// all executors subscribing to one ScanScheduler, so group indexes, predicate
+// bitmaps and float views over the parent are built once per iteration
+// instead of once per shard.
+func BenchmarkShardedSharedScan(b *testing.B) {
+	_, d, qs, provShards, _ := shardedBenchSetup(200, 2400)
+	var passes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		passes = runShardedBench(b, provShards, d, qs, NewScanScheduler())
+	}
+	b.ReportMetric(float64(len(qs)*shardedBenchK*b.N)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(float64(passes), "scanpasses/op")
+}
+
+// BenchmarkShardedPerExecutor is the same sharded workload through the PR 5
+// shared-nothing architecture: each shard materialised with Take, each
+// executor scanning its private copy — k full sets of table passes per
+// iteration.
+func BenchmarkShardedPerExecutor(b *testing.B) {
+	_, d, qs, _, takeShards := shardedBenchSetup(200, 2400)
+	var passes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		passes = runShardedBench(b, takeShards, d, qs, nil)
+	}
+	b.ReportMetric(float64(len(qs)*shardedBenchK*b.N)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(float64(passes), "scanpasses/op")
+}

@@ -1,0 +1,389 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/dataframe"
+)
+
+// rangeShards partitions r into k contiguous provenance-carrying shards
+// (sizes differ by at most one row).
+func rangeShards(r *dataframe.Table, k int) []*dataframe.Table {
+	n := r.NumRows()
+	shards := make([]*dataframe.Table, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		rows := make([]int, size)
+		for j := range rows {
+			rows[j] = lo + j
+		}
+		lo += size
+		shards[i] = r.Shard(rows)
+	}
+	return shards
+}
+
+// interleavedShards deals r's rows round-robin across k shards, so every
+// shard's row list crosses every morsel boundary of the parent — the
+// worst case for the segment walker.
+func interleavedShards(r *dataframe.Table, k int) []*dataframe.Table {
+	shards := make([]*dataframe.Table, k)
+	for i := 0; i < k; i++ {
+		var rows []int
+		for row := i; row < r.NumRows(); row += k {
+			rows = append(rows, row)
+		}
+		shards[i] = r.Shard(rows)
+	}
+	return shards
+}
+
+// TestDifferentialShardExecutor requires an executor over a provenance shard
+// (which scans the shared PARENT restricted to the shard's rows) to be
+// bit-identical to an executor over the materialised copy of the same rows,
+// across mixed and NULL-heavy tables, contiguous and interleaved row lists,
+// k ∈ {1, 3, GOMAXPROCS}, and random batches spanning all 15 agg funcs.
+func TestDifferentialShardExecutor(t *testing.T) {
+	tables := map[string]*dataframe.Table{
+		"mixed":     largeRandomTable(400, 161),
+		"nullheavy": nullHeavyTable(400, 162),
+	}
+	d := dupKeyTrainTable(200, 163)
+	ks := []int{1, 3, runtime.GOMAXPROCS(0)}
+	for name, r := range tables {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(164))
+			qs := randomPool(rng, 80)
+			for _, k := range ks {
+				if k < 1 {
+					continue
+				}
+				for kind, shards := range map[string][]*dataframe.Table{
+					"range":      rangeShards(r, k),
+					"interleave": interleavedShards(r, k),
+				} {
+					for i, sh := range shards {
+						_, rows, ok := sh.ShardOf()
+						if !ok {
+							t.Fatal("shard lost provenance")
+						}
+						got := NewExecutor(sh, WithScanScheduler(NewScanScheduler()))
+						want := NewExecutor(r.Take(rows))
+						gotV, gotOK, err := got.AugmentValuesBatch(d, qs)
+						if err != nil {
+							t.Fatalf("k=%d %s shard %d: %v", k, kind, i, err)
+						}
+						wantV, wantOK, err := want.AugmentValuesBatch(d, qs)
+						if err != nil {
+							t.Fatalf("k=%d %s shard %d reference: %v", k, kind, i, err)
+						}
+						for qi := range qs {
+							sameFeature(t, qs[qi].SQL("r"), gotV[qi], wantV[qi], gotOK[qi], wantOK[qi])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialShardedRouter requires the router (NewShardedExecutor) to
+// be bit-identical to a single executor over the logical table, for full
+// partitions (k ∈ {1, 3, GOMAXPROCS}), shuffled shard order, a partition
+// containing an empty shard, partial coverage, odd morsel sizes crossing
+// segment boundaries, and NULL-heavy data.
+func TestDifferentialShardedRouter(t *testing.T) {
+	tables := map[string]*dataframe.Table{
+		"mixed":     largeRandomTable(400, 165),
+		"nullheavy": nullHeavyTable(400, 166),
+	}
+	d := dupKeyTrainTable(200, 167)
+	for name, r := range tables {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(168))
+			qs := randomPool(rng, 80)
+			refV, refOK, err := NewExecutor(r).AugmentValuesBatch(d, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string, router *Executor) {
+				t.Helper()
+				gotV, gotOK, err := router.AugmentValuesBatch(d, qs)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				for qi := range qs {
+					sameFeature(t, label+" "+qs[qi].SQL("r"), gotV[qi], refV[qi], gotOK[qi], refOK[qi])
+				}
+			}
+
+			for _, k := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+				if k < 1 {
+					continue
+				}
+				router, err := NewShardedExecutor(rangeShards(r, k), WithScanScheduler(NewScanScheduler()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("full partition", router)
+			}
+
+			// Shard order must not matter: the router sorts the union.
+			shards := interleavedShards(r, 3)
+			shuffled := []*dataframe.Table{shards[2], shards[0], shards[1]}
+			router, err := NewShardedExecutor(shuffled, WithScanScheduler(NewScanScheduler()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("shuffled shards", router)
+
+			// A partition containing an empty shard (a value absent from this
+			// batch) must behave like the partition without it.
+			all := make([]int, r.NumRows())
+			for i := range all {
+				all[i] = i
+			}
+			router, err = NewShardedExecutor(
+				[]*dataframe.Table{r.Shard(nil), r.Shard(all)},
+				WithScanScheduler(NewScanScheduler()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("empty shard", router)
+
+			// Odd morsel sizes: every scan crosses many segment boundaries;
+			// results must not move by a bit.
+			for _, msize := range []int{1, 7} {
+				router, err = NewShardedExecutor(rangeShards(r, 3),
+					WithScanScheduler(&ScanScheduler{MorselRows: msize}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("morsel size %d", msize), router)
+			}
+
+			// Partial coverage: a non-identity union routes through a shard of
+			// the parent and must match the materialised union.
+			var even []int
+			for i := 0; i < r.NumRows(); i += 2 {
+				even = append(even, i)
+			}
+			partial := []*dataframe.Table{r.Shard(even[:len(even)/2]), r.Shard(even[len(even)/2:])}
+			router, err = NewShardedExecutor(partial, WithScanScheduler(NewScanScheduler()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, wantOK, err := NewExecutor(r.Take(even)).AugmentValuesBatch(d, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, gotOK, err := router.AugmentValuesBatch(d, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := range qs {
+				sameFeature(t, "partial union "+qs[qi].SQL("r"), gotV[qi], wantV[qi], gotOK[qi], wantOK[qi])
+			}
+		})
+	}
+}
+
+// TestShardedExecutorErrors pins the router's input validation.
+func TestShardedExecutorErrors(t *testing.T) {
+	r := largeRandomTable(50, 169)
+	other := largeRandomTable(50, 170)
+	if _, err := NewShardedExecutor(nil); err == nil {
+		t.Error("empty shard list should fail")
+	}
+	if _, err := NewShardedExecutor([]*dataframe.Table{r}); err == nil {
+		t.Error("table without provenance should fail")
+	}
+	if _, err := NewShardedExecutor([]*dataframe.Table{r.Shard([]int{0, 1}), other.Shard([]int{2})}); err == nil {
+		t.Error("shards of different parents should fail")
+	}
+	if _, err := NewShardedExecutor([]*dataframe.Table{r.Shard([]int{0, 1}), r.Shard([]int{1, 2})}); err == nil {
+		t.Error("overlapping shards should fail")
+	}
+}
+
+// TestSharedScanCounters requires k shard executors on one scheduler to pay
+// fewer table passes between them than k isolated executors, with the
+// difference visible as subscriber hits — the core claim of the shared-scan
+// refactor, asserted on the counters rather than wall clock.
+func TestSharedScanCounters(t *testing.T) {
+	r := largeRandomTable(400, 171)
+	rng := rand.New(rand.NewSource(172))
+	qs := randomPool(rng, 60)
+	const k = 4
+
+	run := func(scheds func(i int) *ScanScheduler) (passes, subs int64) {
+		shards := rangeShards(r, k)
+		for i, sh := range shards {
+			e := NewExecutor(sh, WithScanScheduler(scheds(i)))
+			if _, err := e.ExecuteBatch(qs, "f"); err != nil {
+				t.Fatal(err)
+			}
+			s := e.Stats()
+			passes += s.SharedScanPasses
+			subs += s.SharedScanSubscribers
+		}
+		return passes, subs
+	}
+
+	shared := NewScanScheduler()
+	sharedPasses, sharedSubs := run(func(int) *ScanScheduler { return shared })
+	isoPasses, _ := run(func(int) *ScanScheduler { return NewScanScheduler() })
+
+	if sharedSubs == 0 {
+		t.Error("no subscriber hits: shards did not share scan state")
+	}
+	if sharedPasses >= isoPasses {
+		t.Errorf("shared scheduler paid %d passes, isolated paid %d — sharing saved nothing", sharedPasses, isoPasses)
+	}
+	if isoPasses != k*sharedPasses {
+		t.Errorf("isolated passes = %d, want k×shared = %d (identical batches per shard)", isoPasses, k*sharedPasses)
+	}
+	if shared.Len() != 1 {
+		t.Errorf("scheduler holds %d cores, want 1 (one parent table)", shared.Len())
+	}
+}
+
+// TestShardConcurrentScanSharing hammers one scheduler with k shard executors
+// running batches concurrently (under -race) — plan groups from multiple
+// executors subscribing to the same core entries while they are being built —
+// and requires every result to match a private single-threaded reference bit
+// for bit. The tiny morsel size maximises segment-boundary traffic.
+func TestShardConcurrentScanSharing(t *testing.T) {
+	r := largeRandomTable(300, 181)
+	d := dupKeyTrainTable(150, 182)
+	rng := rand.New(rand.NewSource(183))
+	qs := randomPool(rng, 40)
+	const k = 4
+	shards := interleavedShards(r, k)
+
+	refV := make([][][]float64, k)
+	refOK := make([][][]bool, k)
+	for i, sh := range shards {
+		_, rows, _ := sh.ShardOf()
+		v, ok, err := NewExecutor(r.Take(rows)).AugmentValuesBatch(d, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refV[i], refOK[i] = v, ok
+	}
+
+	sched := &ScanScheduler{MorselRows: 7}
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := NewExecutor(shards[i], WithScanScheduler(sched))
+			for it := 0; it < 3; it++ {
+				v, ok, err := e.AugmentValuesBatch(d, qs)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for qi := range qs {
+					for row := range v[qi] {
+						if v[qi][row] != refV[i][qi][row] || ok[qi][row] != refOK[i][qi][row] {
+							errs[i] = errors.New("concurrent shard batch diverged from reference")
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMorselCancellation cancels mid-morsel-stream: a batch over a tiny
+// morsel size must observe the context at a morsel boundary (well before the
+// batch would complete), return promptly with ctx.Err(), and leave no
+// goroutines behind.
+func TestMorselCancellation(t *testing.T) {
+	r := largeRandomTable(400, 191)
+	rng := rand.New(rand.NewSource(192))
+	qs := randomPool(rng, 40)
+
+	// Learn the full batch's morsel count on a twin executor.
+	warm := NewExecutor(r, WithMorselRows(7))
+	warm.Parallelism = 1
+	if _, err := warm.ExecuteBatch(qs, "f"); err != nil {
+		t.Fatal(err)
+	}
+	total := warm.Stats().MorselsScanned
+	if total < 100 {
+		t.Fatalf("fixture too small: full batch scanned only %d morsels", total)
+	}
+
+	baseline := runtime.NumGoroutine()
+	ex := NewExecutor(r, WithMorselRows(7))
+	ex.Parallelism = 1
+	ctx := newStatCtx(func() bool { return ex.Stats().MorselsScanned >= 20 })
+	_, err := ex.ExecuteBatchContext(ctx, qs, "f")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ex.Stats().MorselsScanned; got >= total/2 {
+		t.Fatalf("scanned %d of %d morsels after cancellation at 20 — not prompt", got, total)
+	}
+	// No leaked goroutines: the worker pool must drain after cancellation.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("goroutine leak after cancellation: %d before, %d after", baseline, g)
+	}
+}
+
+// TestShardEmptyAndSingleRow covers degenerate shards end to end: an empty
+// shard answers every query with its empty-relation semantics, and a
+// one-row shard matches its materialised copy.
+func TestShardEmptyAndSingleRow(t *testing.T) {
+	r := largeRandomTable(100, 195)
+	d := dupKeyTrainTable(60, 196)
+	qs := []Query{
+		{Agg: agg.Sum, AggAttr: "x", Keys: []string{"k1"}},
+		{Agg: agg.Median, AggAttr: "x", Keys: []string{"k1"},
+			Preds: []Predicate{{Attr: "flag", Kind: PredEq, BoolValue: true}}},
+		{Agg: agg.Mode, AggAttr: "cat", Keys: []string{"k2"}},
+	}
+	for label, rows := range map[string][]int{"empty": nil, "single": {42}} {
+		sh := r.Shard(rows)
+		got := NewExecutor(sh, WithScanScheduler(NewScanScheduler()))
+		want := NewExecutor(r.Take(rows))
+		gotV, gotOK, err := got.AugmentValuesBatch(d, qs)
+		if err != nil {
+			t.Fatalf("%s shard: %v", label, err)
+		}
+		wantV, wantOK, err := want.AugmentValuesBatch(d, qs)
+		if err != nil {
+			t.Fatalf("%s reference: %v", label, err)
+		}
+		for qi := range qs {
+			sameFeature(t, label+" "+qs[qi].SQL("r"), gotV[qi], wantV[qi], gotOK[qi], wantOK[qi])
+		}
+	}
+}

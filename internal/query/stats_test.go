@@ -1,0 +1,33 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExecutorStatsAddComplete requires ExecutorStats.Add to sum EVERY field:
+// each field of both operands gets a distinct value, and the sum must land in
+// the result. A counter added to the struct but forgotten in Add (so merged
+// multi-executor stats silently under-report it) fails here by construction.
+func TestExecutorStatsAddComplete(t *testing.T) {
+	var a, b ExecutorStats
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	for i := 0; i < va.NumField(); i++ {
+		if va.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("field %s is %s; ExecutorStats fields are int64 counters — extend this test if that changes",
+				va.Type().Field(i).Name, va.Field(i).Kind())
+		}
+		va.Field(i).SetInt(int64(i + 1))
+		vb.Field(i).SetInt(int64(100 * (i + 1)))
+	}
+	sum := a.Add(b)
+	vs := reflect.ValueOf(sum)
+	for i := 0; i < vs.NumField(); i++ {
+		want := int64(i+1) + int64(100*(i+1))
+		if got := vs.Field(i).Int(); got != want {
+			t.Errorf("field %s: Add = %d, want %d (missing from ExecutorStats.Add?)",
+				vs.Type().Field(i).Name, got, want)
+		}
+	}
+}
