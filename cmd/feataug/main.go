@@ -26,6 +26,14 @@
 //
 //	feataug -fit tmall:split=action -rows 400 -seed 1 -plan-out multi.json
 //	feataug -plan-in multi.json -transform tmall:split=action -rows 400 -seed 2 -out batch.csv
+//
+// Combining -fit and -transform in one invocation runs both halves in one
+// process: the plan is still persisted via -plan-out, and the transform side
+// shares the fit side's process-level join cache and scan scheduler (and,
+// when the scenarios match, the generated dataset itself), so the join
+// indexes and scan state the search warmed are reused instead of rebuilt:
+//
+//	feataug -fit tmall -rows 400 -seed 1 -plan-out plan.json -transform tmall -out batch.csv -v
 package main
 
 import (
@@ -107,18 +115,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		case *fit != "" && *planIn != "":
 			return fmt.Errorf("-fit and -plan-in are mutually exclusive")
 		case *fit != "":
-			if *transform != "" {
-				return fmt.Errorf("-fit and -transform are mutually exclusive (transform with -plan-in)")
-			}
 			if *planOut == "" {
 				return fmt.Errorf("-fit requires -plan-out")
 			}
-			return runFit(ctx, *fit, *planOut, fo, out, stderr)
+			// In a combined invocation -out carries the transform's CSV
+			// payload, so the fit summary stays on the terminal.
+			fitOut := out
+			if *transform != "" {
+				fitOut = stdout
+			}
+			d, err := runFit(ctx, *fit, *planOut, fo, fitOut, stderr)
+			if err != nil {
+				return err
+			}
+			if *transform == "" {
+				return nil
+			}
+			// Combined fit+transform: one process serves both halves, so the
+			// transform reuses the fit's process-level join cache and scan
+			// scheduler — and, when the scenarios match, the very dataset the
+			// fit generated (cache identity is per table instance).
+			shared := d
+			if *transform != *fit {
+				shared = nil
+			}
+			return runTransform(ctx, *planOut, *transform, fo, shared, true, out, stderr)
 		default:
 			if *transform == "" {
 				return fmt.Errorf("-plan-in requires -transform")
 			}
-			return runTransform(ctx, *planIn, *transform, fo, out, stderr)
+			return runTransform(ctx, *planIn, *transform, fo, nil, false, out, stderr)
 		}
 	}
 
@@ -409,19 +435,21 @@ func (fo fitOpts) fitSetup() (ml.Kind, feataug.Config, bool, error) {
 }
 
 // runFit learns a FeaturePlan (or, for a split scenario, a MultiFeaturePlan)
-// and writes it as JSON.
-func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr io.Writer) error {
+// and writes it as JSON. It returns the dataset it generated so a combined
+// fit+transform invocation can materialise onto the same table instances the
+// search warmed the process caches with.
+func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr io.Writer) (*datagen.Dataset, error) {
 	dataset, splitCol, err := parseScenario(spec)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	d, err := fo.dataset(dataset)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	model, cfg, allFuncs, err := fo.fitSetup()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	opts := []feataug.Option{feataug.WithConfig(cfg), feataug.WithModel(model)}
 	if fo.verbose {
@@ -434,6 +462,11 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 		opts = append(opts, feataug.WithLogf(func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}))
+		// And the fusion counters, spelled out the same way transform mode
+		// spells its own — one delivery per fit, merged across sources.
+		opts = append(opts, feataug.WithStats(func(s repro.ExecutorStats) {
+			printFusionStats(stderr, "fit", s)
+		}))
 	}
 	if !allFuncs {
 		opts = append(opts, feataug.WithAggFuncs(agg.Basic()...))
@@ -442,7 +475,7 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 	if splitCol != "" {
 		inputs, nulls, err := splitInputs(d, splitCol)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if nulls > 0 {
 			fmt.Fprintf(stderr, "fit: warning: %d relevant row(s) have NULL %q and are excluded from every shard\n", nulls, splitCol)
@@ -454,14 +487,14 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 		}))
 		plan, err := feataug.FitMulti(ctx, repro.DatasetProblem(d), inputs, opts...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		data, err := plan.Encode()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := os.WriteFile(planPath, data, 0o644); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintf(out, "fit: %d queries across %d relevant tables -> %s\n",
 			len(plan.NamedQueries()), len(plan.Sources), planPath)
@@ -470,7 +503,7 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 				fmt.Fprintf(out, "  %-20s loss %.4f  %s\n", pq.Feature, pq.Loss, pq.Query.SQL(src.Name))
 			}
 		}
-		return nil
+		return d, nil
 	}
 
 	opts = append(opts, feataug.WithProgress(func(stage feataug.Stage, done, total int) {
@@ -478,28 +511,34 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 	}))
 	plan, err := feataug.Fit(ctx, repro.DatasetProblem(d), opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data, err := plan.Encode()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.WriteFile(planPath, data, 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(out, "fit: %d queries from %d templates -> %s\n",
 		len(plan.Queries), len(plan.Templates), planPath)
 	for _, pq := range plan.Queries {
 		fmt.Fprintf(out, "  %-14s loss %.4f  %s\n", pq.Feature, pq.Loss, pq.Query.SQL(dataset))
 	}
-	return nil
+	return d, nil
 }
 
 // runTransform loads a plan and materialises its features onto a fresh batch
 // of the dataset (the transform half of the lifecycle — no search happens
 // here). A split scenario loads a MultiFeaturePlan and rebuilds the same
 // relevant-table shards to bind it to.
-func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, stderr io.Writer) error {
+//
+// In a combined fit+transform invocation, shared is the dataset the fit just
+// generated (nil when the scenarios differ) and procCaches opts the
+// transformer into the process-level join cache and scan scheduler, so join
+// indexes and scan state warmed by the search are reused — caches key on
+// table identity, which is why the shared instance matters.
+func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, shared *datagen.Dataset, procCaches bool, out, stderr io.Writer) error {
 	dataset, splitCol, err := parseScenario(spec)
 	if err != nil {
 		return err
@@ -508,9 +547,17 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, s
 	if err != nil {
 		return err
 	}
-	d, err := fo.dataset(dataset)
-	if err != nil {
-		return err
+	d := shared
+	if d == nil {
+		if d, err = fo.dataset(dataset); err != nil {
+			return err
+		}
+	}
+	var exOpts []repro.ExecutorOption
+	if procCaches {
+		exOpts = append(exOpts,
+			repro.WithJoinCache(repro.ProcessJoinCache()),
+			repro.WithScanScheduler(repro.ProcessScanScheduler()))
 	}
 
 	var augmented *repro.Table
@@ -531,7 +578,7 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, s
 		if unmatched > 0 {
 			fmt.Fprintf(stderr, "transform: warning: %d relevant row(s) match no plan source (NULL or %q values unseen at fit time) and are excluded\n", unmatched, splitCol)
 		}
-		tr, err := plan.Transformer(shards)
+		tr, err := plan.Transformer(shards, exOpts...)
 		if err != nil {
 			return err
 		}
@@ -548,7 +595,7 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, s
 			}
 			return err
 		}
-		tr, err := plan.Transformer(d.Relevant)
+		tr, err := plan.Transformer(d.Relevant, exOpts...)
 		if err != nil {
 			return err
 		}
@@ -565,22 +612,28 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, out, s
 	if fo.verbose {
 		s := stats()
 		fmt.Fprintf(stderr, "transform: executor stats: %s\n", s)
-		// The serving-side fusion counters, spelled out: how many feature
-		// columns each training-table pass served, and how often the shared
-		// train-side join index was reused across executors.
-		passes := s.ScatterPasses
-		if passes == 0 {
-			passes = 1
-		}
-		fmt.Fprintf(stderr, "transform: scatter: %d columns over %d passes (%.1f cols/pass), shared join index %d hits / %d misses, %d counting sorts\n",
-			s.ScatterQueries, s.ScatterPasses, float64(s.ScatterQueries)/float64(passes),
-			s.SharedJoinHits, s.SharedJoinMisses, s.CountingScans)
-		// The morsel-driven shared-scan counters: full-table passes the
-		// executor set paid, cache entries served to executors that did not
-		// build them (shards subscribing to a sibling's pass), and morsels
-		// walked in total.
-		fmt.Fprintf(stderr, "transform: shared scans: %d passes, %d subscribed, %d morsels scanned\n",
-			s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned)
+		printFusionStats(stderr, "transform", s)
 	}
 	return augmented.WriteCSV(out)
+}
+
+// printFusionStats spells out an executor-stats snapshot's fusion counters —
+// the shared block both -v modes print, prefixed with the mode that paid the
+// work.
+func printFusionStats(stderr io.Writer, mode string, s repro.ExecutorStats) {
+	// The serving-side fusion counters: how many feature columns each
+	// training-table pass served, and how often the shared train-side join
+	// index was reused across executors.
+	passes := s.ScatterPasses
+	if passes == 0 {
+		passes = 1
+	}
+	fmt.Fprintf(stderr, "%s: scatter: %d columns over %d passes (%.1f cols/pass), shared join index %d hits / %d misses, %d counting sorts\n",
+		mode, s.ScatterQueries, s.ScatterPasses, float64(s.ScatterQueries)/float64(passes),
+		s.SharedJoinHits, s.SharedJoinMisses, s.CountingScans)
+	// The morsel-driven shared-scan counters: full-table passes the executor
+	// set paid, cache entries served to executors that did not build them
+	// (shards subscribing to a sibling's pass), and morsels walked in total.
+	fmt.Fprintf(stderr, "%s: shared scans: %d passes, %d subscribed, %d morsels scanned\n",
+		mode, s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned)
 }

@@ -185,6 +185,49 @@ func TestFitTransformRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFitTransformCombined exercises the combined -fit -transform invocation:
+// one process fits the plan, persists it, and materialises the features onto
+// the same dataset through the process-level caches — the saved plan and the
+// CSV both land, and -v shows the transform reusing the fit's join indexes.
+func TestFitTransformCombined(t *testing.T) {
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	csvPath := filepath.Join(dir, "batch.csv")
+
+	var buf, errBuf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-fit", "student", "-rows", "150", "-seed", "1", "-models", "LR",
+		"-warmup", "8", "-gen", "3", "-templates", "1", "-queries", "1",
+		"-plan-out", planPath, "-transform", "student", "-out", csvPath, "-v",
+	}, &buf, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(planPath); err != nil {
+		t.Fatalf("combined mode did not persist the plan: %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(string(data), "\n")
+	if !strings.Contains(header, "feataug_0") {
+		t.Fatalf("combined CSV header missing planned feature: %.200s", header)
+	}
+	errOut := errBuf.String()
+	// Both halves print their fusion counters.
+	if !strings.Contains(errOut, "fit: shared scans:") || !strings.Contains(errOut, "transform: shared scans:") {
+		t.Fatalf("-v missing shared-scan lines for both modes: %s", errOut)
+	}
+	// The transform joins features onto the SAME training table the fit
+	// warmed the process join cache with, so the shared index must hit.
+	tail := errOut[strings.Index(errOut, "transform: scatter:"):]
+	line, _, _ := strings.Cut(tail, "\n")
+	if strings.Contains(line, "shared join index 0 hits") {
+		t.Fatalf("combined transform did not reuse the fit's join index: %s", line)
+	}
+}
+
 // TestFitTransformMultiRoundTrip exercises the multi-table scenario spec:
 // fit a MultiFeaturePlan on tmall's relevant table split by action, then
 // transform a fresh batch with the saved plan.
@@ -301,8 +344,8 @@ func TestFitTransformFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-fit", "a", "-plan-in", "b"}, &buf, &buf); err == nil {
 		t.Fatal("-fit with -plan-in should fail")
 	}
-	if err := run(context.Background(), []string{"-fit", "a", "-plan-out", "p.json", "-transform", "b"}, &buf, &buf); err == nil {
-		t.Fatal("-fit with -transform should fail")
+	if err := run(context.Background(), []string{"-fit", "student", "-transform", "student"}, &buf, &buf); err == nil {
+		t.Fatal("combined -fit/-transform without -plan-out should fail")
 	}
 	if err := run(context.Background(), []string{"-plan-in", "/nonexistent.json", "-transform", "student"}, &buf, &buf); err == nil {
 		t.Fatal("missing plan file should fail")

@@ -125,6 +125,12 @@ func NewExecutor(r *Table, opts ...ExecutorOption) *Executor { return query.NewE
 // must not share with the process-level default.
 func NewJoinCache() *JoinCache { return query.NewJoinCache() }
 
+// ProcessJoinCache returns the process-level join cache executors adopt by
+// default. Pass it explicitly (WithJoinCache) to opt a transformer built
+// through an API that defaults to a private cache back into process-wide
+// sharing — e.g. a transform phase reusing join indexes a fit phase built.
+func ProcessJoinCache() *JoinCache { return query.ProcessJoinCache() }
+
 // WithJoinCache makes an executor share train-side join indexes through the
 // given cache instead of the process-level default.
 func WithJoinCache(c *JoinCache) ExecutorOption { return query.WithJoinCache(c) }
@@ -246,6 +252,7 @@ var (
 	ErrKeyMismatch     = feataug.ErrKeyMismatch
 	ErrSchemaMismatch  = feataug.ErrSchemaMismatch
 	ErrPlanVersion     = feataug.ErrPlanVersion
+	ErrPlanCorrupt     = feataug.ErrPlanCorrupt
 	ErrEmptyPlan       = feataug.ErrEmptyPlan
 	ErrNilTable        = feataug.ErrNilTable
 	ErrEmptySource     = feataug.ErrEmptySource
@@ -283,6 +290,12 @@ func WithLogf(logf func(format string, args ...interface{})) Option {
 // relevant-table name alongside the stage counters.
 func WithSourceProgress(fn func(source string, stage Stage, done, total int)) Option {
 	return feataug.WithSourceProgress(fn)
+}
+
+// WithStats registers a callback receiving the fit's final executor counters
+// (merged across sources for FitMulti).
+func WithStats(fn func(ExecutorStats)) Option {
+	return feataug.WithStats(fn)
 }
 
 // Fit runs the complete FeatAug search on a problem and returns the learned

@@ -124,6 +124,7 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	if !e.cfg.suppressStatsLog {
 		e.cfg.logf("feataug: executor stats: %s", e.eval.Executor().Stats())
 	}
+	e.cfg.stats(e.eval.Executor().Stats())
 	return res, nil
 }
 

@@ -87,6 +87,12 @@ type Config struct {
 	// they must be fast and must not block.
 	Progress func(stage Stage, done, total int)
 
+	// Stats, when non-nil, receives the run's final executor counters after
+	// materialisation. Set it through WithStats. Single-table Fit delivers
+	// one callback; FitMulti merges every source's counters and delivers the
+	// sum once.
+	Stats func(query.ExecutorStats)
+
 	// suppressStatsLog drops the per-run executor-stats log line. FitMulti
 	// sets it on sharded-source runs so k shards of one table log one merged
 	// stats block instead of k interleaved ones.
@@ -135,6 +141,13 @@ func (c Config) logf(format string, args ...interface{}) {
 func (c Config) progress(stage Stage, done, total int) {
 	if c.Progress != nil {
 		c.Progress(stage, done, total)
+	}
+}
+
+// stats forwards to Stats when set.
+func (c Config) stats(s query.ExecutorStats) {
+	if c.Stats != nil {
+		c.Stats(s)
 	}
 }
 

@@ -21,6 +21,11 @@ var (
 	// ErrPlanVersion reports a serialised plan whose version this build
 	// cannot interpret.
 	ErrPlanVersion = errors.New("feataug: unsupported feature-plan version")
+	// ErrPlanCorrupt reports serialised plan bytes that do not parse as a
+	// plan at all: empty input, truncated JSON, or non-plan content. Distinct
+	// from ErrPlanVersion (parsed, but a version this build cannot use) so a
+	// serving process can tell a bad upload from a version skew.
+	ErrPlanCorrupt = errors.New("feataug: feature plan data is corrupt")
 	// ErrEmptyPlan reports a plan with no queries to transform with.
 	ErrEmptyPlan = errors.New("feataug: feature plan has no queries")
 	// ErrNilTable reports a nil table argument.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/ml"
 	"repro/internal/pipeline"
+	"repro/internal/query"
 )
 
 // fitOptions collects the knobs Fit accepts through functional options.
@@ -63,6 +64,15 @@ func WithProgress(fn func(stage Stage, done, total int)) Option {
 // WithLogf registers a printf-style progress logger.
 func WithLogf(logf func(format string, args ...interface{})) Option {
 	return func(o *fitOptions) { o.cfg.Logf = logf }
+}
+
+// WithStats registers a callback that receives the fit's final executor
+// counters after feature materialisation. Single-table Fit delivers one
+// callback; FitMulti merges every source's counters and delivers the sum
+// once after all searches finish. The CLI uses it to print the same
+// scatter / shared-scan lines in fit mode that the transform path prints.
+func WithStats(fn func(query.ExecutorStats)) Option {
+	return func(o *fitOptions) { o.cfg.Stats = fn }
 }
 
 // WithSourceProgress registers a progress callback for FitMulti carrying the

@@ -147,6 +147,9 @@ func fitMulti(ctx context.Context, base pipeline.Problem, inputs []RelevantInput
 		// process ScanScheduler through their provenance); log one merged
 		// stats block for the set below instead of k interleaved ones.
 		cfg.suppressStatsLog = sharded
+		// The Stats callback gets one merged delivery after every search
+		// finishes (below), never k concurrent per-source calls.
+		cfg.Stats = nil
 		ev, err := pipeline.NewEvaluator(p, o.model, cfg.Seed)
 		if err != nil {
 			return nil, nil, fmt.Errorf("feataug: relevant table %q: %w", in.Name, err)
@@ -180,13 +183,14 @@ func fitMulti(ctx context.Context, base pipeline.Problem, inputs []RelevantInput
 	if err != nil {
 		return nil, nil, err
 	}
+	var merged query.ExecutorStats
+	for _, ev := range evals {
+		merged = merged.Add(ev.Executor().Stats())
+	}
 	if sharded {
-		var merged query.ExecutorStats
-		for _, ev := range evals {
-			merged = merged.Add(ev.Executor().Stats())
-		}
 		o.cfg.logf("feataug: merged executor stats (%d sharded sources): %s", len(inputs), merged)
 	}
+	o.cfg.stats(merged)
 	return newMultiPlan(base, inputs, problems, results), results, nil
 }
 

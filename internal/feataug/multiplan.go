@@ -108,6 +108,15 @@ func schemaFingerprint(tbl *dataframe.Table, cols []string) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// SchemaFingerprint computes the fingerprint a MultiFeaturePlan source
+// carrying this plan would check tbl against at Transformer bind time:
+// the hash of (name, kind) for every column the plan's queries reference.
+// Serving tooling uses it to assemble PlanSource sections for tables it
+// holds without rerunning a fit.
+func (p *FeaturePlan) SchemaFingerprint(tbl *dataframe.Table) string {
+	return schemaFingerprint(tbl, p.referencedColumns())
+}
+
 // Validate checks the plan is usable by this build: supported version, at
 // least one source, non-empty unique source names, and every per-source plan
 // valid in its own right.
@@ -145,20 +154,24 @@ func (p *MultiFeaturePlan) Encode() ([]byte, error) {
 // DecodeMultiPlan deserialises a MultiFeaturePlan and validates it. As with
 // DecodePlan, the version gate runs from a header probe before the body
 // decodes, so a future version carrying names this build cannot parse still
-// reports ErrPlanVersion rather than a decode error.
+// reports ErrPlanVersion rather than a decode error, and bytes that do not
+// parse as JSON at all fail with ErrPlanCorrupt.
 func DecodeMultiPlan(data []byte) (*MultiFeaturePlan, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrPlanCorrupt)
+	}
 	var header struct {
 		Version int `json:"version"`
 	}
 	if err := json.Unmarshal(data, &header); err != nil {
-		return nil, fmt.Errorf("feataug: decode multi plan: %w", err)
+		return nil, fmt.Errorf("%w: decode multi plan: %v", ErrPlanCorrupt, err)
 	}
 	if header.Version != MultiPlanVersion {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrPlanVersion, header.Version, MultiPlanVersion)
 	}
 	var p MultiFeaturePlan
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("feataug: decode multi plan: %w", err)
+		return nil, fmt.Errorf("%w: decode multi plan: %v", ErrPlanCorrupt, err)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -203,8 +216,11 @@ func (p *MultiFeaturePlan) NamedQueries() []NamedQuery {
 // FeaturePlan.Transformer), and the column kinds must match the fit-time
 // schema fingerprint (ErrSchemaMismatch). Tables for names the plan does not
 // mention are ignored. Each source gets its own cached batch executor, built
-// once and shared across Transform calls.
-func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Table) (*MultiTransformer, error) {
+// once and shared across Transform calls. Extra executor options apply to
+// every per-source executor after the shared join cache / scan scheduler, so
+// a caller can rewire the sources onto process-level caches
+// (query.WithJoinCache(query.ProcessJoinCache())) when that is what it wants.
+func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Table, opts ...query.ExecutorOption) (*MultiTransformer, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,7 +242,8 @@ func (p *MultiFeaturePlan) Transformer(relevantByName map[string]*dataframe.Tabl
 		if tbl == nil {
 			return nil, fmt.Errorf("%w: relevant table %q", ErrNilTable, src.Name)
 		}
-		tr, err := src.Plan.Transformer(tbl, query.WithJoinCache(joins), query.WithScanScheduler(scans))
+		srcOpts := append([]query.ExecutorOption{query.WithJoinCache(joins), query.WithScanScheduler(scans)}, opts...)
+		tr, err := src.Plan.Transformer(tbl, srcOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("feataug: source %q: %w", src.Name, err)
 		}
@@ -294,4 +311,52 @@ func (t *MultiTransformer) Transform(ctx context.Context, d *dataframe.Table) (*
 		}
 	}
 	return out, nil
+}
+
+// Matrix materialises every source's planned feature vectors for d as one
+// combined columnar FeatureMatrix, columns source-major in FeatureNames
+// order — the multi-table counterpart of Transformer.Matrix, used by the
+// serving coalescer.
+func (t *MultiTransformer) Matrix(ctx context.Context, d *dataframe.Table) (*query.FeatureMatrix, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: transform input", ErrNilTable)
+	}
+	for i, tr := range t.sources {
+		if err := tr.checkKeys(d); err != nil {
+			return nil, fmt.Errorf("feataug: source %q: %w", t.plan.Sources[i].Name, err)
+		}
+	}
+	out := query.NewFeatureMatrix(d.NumRows(), len(t.plan.FeatureNames()))
+	col := 0
+	for i, tr := range t.sources {
+		m, err := tr.exec.AugmentMatrixContext(ctx, d, tr.queries)
+		if err != nil {
+			return nil, fmt.Errorf("feataug: source %q: %w", t.plan.Sources[i].Name, err)
+		}
+		for j := 0; j < m.NumFeatures(); j++ {
+			sv, sok := m.Col(j)
+			dv, dok := out.Col(col)
+			copy(dv, sv)
+			copy(dok, sok)
+			col++
+		}
+	}
+	return out, nil
+}
+
+// RequiredKeys returns the union of join-key columns across every source's
+// queries, in first-seen source-major order — the columns a transform input
+// table must carry.
+func (t *MultiTransformer) RequiredKeys() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, tr := range t.sources {
+		for _, k := range tr.RequiredKeys() {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
 }

@@ -101,20 +101,25 @@ func (p *FeaturePlan) Encode() ([]byte, error) {
 // different serialisation version fails with ErrPlanVersion. The version is
 // checked from a header probe before the body decodes, so a future version
 // carrying names this build cannot parse (new agg functions, predicate
-// kinds) still reports ErrPlanVersion rather than a decode error.
+// kinds) still reports ErrPlanVersion rather than a decode error. Bytes that
+// do not parse as JSON at all — empty, truncated, or non-plan content — fail
+// with ErrPlanCorrupt.
 func DecodePlan(data []byte) (*FeaturePlan, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrPlanCorrupt)
+	}
 	var header struct {
 		Version int `json:"version"`
 	}
 	if err := json.Unmarshal(data, &header); err != nil {
-		return nil, fmt.Errorf("feataug: decode plan: %w", err)
+		return nil, fmt.Errorf("%w: decode plan: %v", ErrPlanCorrupt, err)
 	}
 	if header.Version != PlanVersion {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrPlanVersion, header.Version, PlanVersion)
 	}
 	var p FeaturePlan
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("feataug: decode plan: %w", err)
+		return nil, fmt.Errorf("%w: decode plan: %v", ErrPlanCorrupt, err)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -249,3 +254,34 @@ func (t *Transformer) matrix(ctx context.Context, d *dataframe.Table) (*query.Fe
 	}
 	return t.exec.AugmentMatrixContext(ctx, d, t.queries)
 }
+
+// Matrix materialises the planned feature vectors for d as one columnar bulk
+// FeatureMatrix (one column per planned feature, in FeatureNames order)
+// without assembling an output table. This is the serving entry point: a
+// coalescer that fuses many small requests into one pass scatters matrix row
+// ranges back to waiters without paying per-request table assembly.
+func (t *Transformer) Matrix(ctx context.Context, d *dataframe.Table) (*query.FeatureMatrix, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: transform input", ErrNilTable)
+	}
+	return t.matrix(ctx, d)
+}
+
+// RequiredKeys returns the union of join-key columns the plan's queries group
+// by, in first-seen order — the columns a transform input table must carry.
+func (t *Transformer) RequiredKeys() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, q := range t.queries {
+		for _, k := range q.Keys {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns the transformer's executor counters.
+func (t *Transformer) Stats() query.ExecutorStats { return t.exec.Stats() }

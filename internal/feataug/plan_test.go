@@ -182,6 +182,42 @@ func TestPlanAccessors(t *testing.T) {
 	}
 }
 
+// TestDecodePlanCorrupt asserts that bytes which do not parse as a plan at
+// all — empty input, truncated JSON, garbage — fail with the typed
+// ErrPlanCorrupt rather than a bare json error. feataugd loads plans from
+// disk at boot and over HTTP on hot-swap, so this is a serving-path error
+// callers must be able to branch on.
+func TestDecodePlanCorrupt(t *testing.T) {
+	valid, err := fixturePlan().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": valid[:len(valid)/2],
+		"garbage":   []byte("{not json"),
+		"non-JSON":  []byte("version: 1"),
+	}
+	for name, data := range cases {
+		_, err := DecodePlan(data)
+		if !errors.Is(err, ErrPlanCorrupt) {
+			t.Errorf("DecodePlan(%s) = %v, want ErrPlanCorrupt", name, err)
+		}
+		_, err = DecodeMultiPlan(data)
+		if !errors.Is(err, ErrPlanCorrupt) {
+			t.Errorf("DecodeMultiPlan(%s) = %v, want ErrPlanCorrupt", name, err)
+		}
+	}
+	// A wrong version is version skew, not corruption.
+	if _, err := DecodePlan([]byte(`{"version":99}`)); errors.Is(err, ErrPlanCorrupt) {
+		t.Errorf("version mismatch reported as ErrPlanCorrupt: %v", err)
+	}
+	// Valid bytes still decode after the hardening.
+	if _, err := DecodePlan(valid); err != nil {
+		t.Errorf("valid plan failed to decode: %v", err)
+	}
+}
+
 // TestDecodePlanFutureVersion asserts a future-version plan carrying names
 // this build cannot parse still fails with ErrPlanVersion, not a decode
 // error — the version gate runs before the body decodes.

@@ -1,0 +1,61 @@
+package query
+
+import "testing"
+
+func TestNewFeatureMatrixShape(t *testing.T) {
+	m := NewFeatureMatrix(3, 2)
+	if m.NumRows() != 3 || m.NumFeatures() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.NumRows(), m.NumFeatures())
+	}
+	if len(m.Vals) != 6 || len(m.Valid) != 6 {
+		t.Fatalf("buffers = %d/%d, want 6/6", len(m.Vals), len(m.Valid))
+	}
+	v, ok := m.Col(1)
+	if len(v) != 3 || len(ok) != 3 {
+		t.Fatalf("Col(1) lengths = %d/%d, want 3/3", len(v), len(ok))
+	}
+}
+
+func TestFeatureMatrixRowSlice(t *testing.T) {
+	m := NewFeatureMatrix(4, 2)
+	for j := 0; j < 2; j++ {
+		v, ok := m.Col(j)
+		for i := range v {
+			v[i] = float64(10*j + i)
+			ok[i] = i%2 == 0
+		}
+	}
+	s := m.RowSlice(1, 3)
+	if s.NumRows() != 2 || s.NumFeatures() != 2 {
+		t.Fatalf("slice shape = %dx%d, want 2x2", s.NumRows(), s.NumFeatures())
+	}
+	for j := 0; j < 2; j++ {
+		v, ok := s.Col(j)
+		for i := 0; i < 2; i++ {
+			wantV := float64(10*j + i + 1)
+			wantOK := (i+1)%2 == 0
+			if v[i] != wantV || ok[i] != wantOK {
+				t.Errorf("slice col %d row %d = (%v, %v), want (%v, %v)", j, i, v[i], ok[i], wantV, wantOK)
+			}
+		}
+	}
+	// The slice must be a copy: mutating it leaves the source untouched.
+	sv, sok := s.Col(0)
+	sv[0], sok[0] = -1, false
+	mv, mok := m.Col(0)
+	if mv[1] != 1 || mok[1] != false {
+		t.Errorf("source col 0 row 1 = (%v, %v) after slice mutation, want (1, false)", mv[1], mok[1])
+	}
+
+	// Empty slices are fine at either edge.
+	if e := m.RowSlice(4, 4); e.NumRows() != 0 || e.NumFeatures() != 2 {
+		t.Errorf("empty slice shape = %dx%d, want 0x2", e.NumRows(), e.NumFeatures())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Errorf("RowSlice(2, 5) did not panic")
+		}
+	}()
+	m.RowSlice(2, 5)
+}

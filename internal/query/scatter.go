@@ -42,6 +42,34 @@ func newFeatureMatrix(rows, cols int) *FeatureMatrix {
 	}
 }
 
+// NewFeatureMatrix allocates an empty rows×cols feature matrix. Callers
+// outside the executor (plan assembly, serving scatter-back) fill columns
+// through Col views.
+func NewFeatureMatrix(rows, cols int) *FeatureMatrix {
+	if rows < 0 || cols < 0 {
+		panic("query: NewFeatureMatrix with negative dimensions")
+	}
+	return newFeatureMatrix(rows, cols)
+}
+
+// RowSlice copies rows [lo, hi) of every feature column into a fresh
+// (hi-lo)×cols matrix. The serving coalescer uses it to scatter one fused
+// AugmentMatrix pass back to the waiters that contributed each row range;
+// the copy keeps waiter results alive independently of the batch buffer.
+func (m *FeatureMatrix) RowSlice(lo, hi int) *FeatureMatrix {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("query: RowSlice [%d, %d) out of range for %d rows", lo, hi, m.rows))
+	}
+	out := newFeatureMatrix(hi-lo, m.cols)
+	for j := 0; j < m.cols; j++ {
+		sv, sok := m.Col(j)
+		dv, dok := out.Col(j)
+		copy(dv, sv[lo:hi])
+		copy(dok, sok[lo:hi])
+	}
+	return out
+}
+
 // NumRows returns the number of rows each feature column has.
 func (m *FeatureMatrix) NumRows() int { return m.rows }
 

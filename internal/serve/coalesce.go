@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/dataframe"
+	"repro/internal/query"
+)
+
+// coalescer micro-batches concurrent transform requests against one plan
+// into single fused AugmentMatrix passes. The engine is batch-shaped: a pass
+// pays the relevant-table scans and per-group projection tables once however
+// many request rows ride on it, so fusing k small requests into one pass
+// costs roughly one request's engine work instead of k. Requests accumulate
+// until the window timer fires or the pending batch reaches maxRows,
+// whichever comes first; the batch runs as one pass and each waiter gets its
+// row range scattered back. Results are bit-identical to a solo pass — each
+// row's features depend only on its join keys against the relevant table,
+// never on the other rows sharing the pass (the differential test enforces
+// this).
+type coalescer struct {
+	tr      Transformer
+	window  time.Duration
+	maxRows int
+	// onBatch receives (waiters, rows) after each flush for stats.
+	onBatch func(waiters, rows int)
+
+	mu      sync.Mutex
+	pending []*waiter
+	rows    int
+	gen     uint64 // guards stale window timers; bumped at every flush
+}
+
+// waiter is one enqueued request: its typed key table and the channel its
+// scattered result arrives on (buffered, so a flush never blocks on a waiter
+// that gave up).
+type waiter struct {
+	tbl  *dataframe.Table
+	rows int
+	ch   chan waitResult
+}
+
+type waitResult struct {
+	m         *query.FeatureMatrix
+	coalesced bool
+	err       error
+}
+
+func newCoalescer(tr Transformer, window time.Duration, maxRows int, onBatch func(waiters, rows int)) *coalescer {
+	return &coalescer{tr: tr, window: window, maxRows: maxRows, onBatch: onBatch}
+}
+
+// do serves one request table: solo when coalescing is disabled (window < 0),
+// otherwise enqueued into the pending micro-batch. It blocks until the
+// result is scattered back or ctx is cancelled; on cancellation the batch
+// still runs for its other waiters and this waiter's slice is dropped.
+func (c *coalescer) do(ctx context.Context, tbl *dataframe.Table) waitResult {
+	if c.window < 0 {
+		m, err := c.tr.Matrix(ctx, tbl)
+		if err == nil {
+			c.onBatch(1, tbl.NumRows())
+		}
+		return waitResult{m: m, err: err}
+	}
+	w := &waiter{tbl: tbl, rows: tbl.NumRows(), ch: make(chan waitResult, 1)}
+	c.mu.Lock()
+	c.pending = append(c.pending, w)
+	c.rows += w.rows
+	if c.rows >= c.maxRows {
+		// Batch is full: flush inline on this request's goroutine.
+		batch, rows := c.takeLocked()
+		c.mu.Unlock()
+		c.run(batch, rows)
+	} else {
+		if len(c.pending) == 1 {
+			// First waiter opens the window.
+			gen := c.gen
+			time.AfterFunc(c.window, func() { c.flushGen(gen) })
+		}
+		c.mu.Unlock()
+	}
+	select {
+	case res := <-w.ch:
+		return res
+	case <-ctx.Done():
+		return waitResult{err: ctx.Err()}
+	}
+}
+
+// takeLocked claims the pending batch. Callers hold c.mu.
+func (c *coalescer) takeLocked() ([]*waiter, int) {
+	batch, rows := c.pending, c.rows
+	c.pending, c.rows = nil, 0
+	c.gen++
+	return batch, rows
+}
+
+// flushGen is the window-timer path: it flushes only if the batch the timer
+// was opened for is still pending (gen matches), so a timer racing a
+// maxRows flush never cuts the next batch's window short.
+func (c *coalescer) flushGen(gen uint64) {
+	c.mu.Lock()
+	if c.gen != gen || len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	batch, rows := c.takeLocked()
+	c.mu.Unlock()
+	c.run(batch, rows)
+}
+
+// flush force-runs whatever is pending — the hot-swap and drain paths use it
+// so waiters parked on an outgoing plan state complete on that state's
+// transformer without waiting out the window.
+func (c *coalescer) flush() {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	batch, rows := c.takeLocked()
+	c.mu.Unlock()
+	c.run(batch, rows)
+}
+
+// run executes one batch as a single fused pass and scatters row ranges back
+// to the waiters. The pass runs under context.Background(): a batch serves
+// many requests, so one caller's cancellation must not abort the others
+// (cancelled callers stop waiting in do; their rows compute harmlessly).
+func (c *coalescer) run(batch []*waiter, rows int) {
+	var d *dataframe.Table
+	var err error
+	if len(batch) == 1 {
+		d = batch[0].tbl
+	} else {
+		tbls := make([]*dataframe.Table, len(batch))
+		for i, w := range batch {
+			tbls[i] = w.tbl
+		}
+		d, err = dataframe.Concat(tbls...)
+	}
+	var m *query.FeatureMatrix
+	if err == nil {
+		m, err = c.tr.Matrix(context.Background(), d)
+	}
+	if err != nil {
+		for _, w := range batch {
+			w.ch <- waitResult{err: err}
+		}
+		return
+	}
+	coalesced := len(batch) > 1
+	if len(batch) == 1 {
+		batch[0].ch <- waitResult{m: m}
+	} else {
+		lo := 0
+		for _, w := range batch {
+			hi := lo + w.rows
+			w.ch <- waitResult{m: m.RowSlice(lo, hi), coalesced: coalesced}
+			lo = hi
+		}
+	}
+	c.onBatch(len(batch), rows)
+}

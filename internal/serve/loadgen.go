@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadgenConfig drives RunLoadgen against a running feataugd (or any
+// Server.Handler) over HTTP.
+type LoadgenConfig struct {
+	// URL is the server base URL (e.g. http://127.0.0.1:8080).
+	URL string
+	// Plan is the plan name to hit.
+	Plan string
+	// Clients is the number of concurrent clients (closed-loop: each client
+	// has one request outstanding at a time).
+	Clients int
+	// Requests is the number of requests each client issues.
+	Requests int
+	// RowsPerRequest is the number of entity rows per request body.
+	RowsPerRequest int
+	// NewRow produces the key map of one request row. It must be safe for
+	// concurrent calls.
+	NewRow func(client, seq, row int) map[string]interface{}
+}
+
+// LoadgenResult summarises one load-generation run.
+type LoadgenResult struct {
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	Rows           int     `json:"rows"`
+	Rejected       int     `json:"rejected"`
+	Failed         int     `json:"failed"`
+	DurationMS     float64 `json:"duration_ms"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	ThroughputRows float64 `json:"throughput_rows_ps"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+}
+
+// String renders the result the way the -loadgen CLI prints it.
+func (r *LoadgenResult) String() string {
+	return fmt.Sprintf("loadgen: %d clients × %d reqs (%d rows): %.0f req/s, %.0f rows/s, p50 %.3fms, p99 %.3fms, %d rejected, %d failed",
+		r.Clients, r.Requests/max(r.Clients, 1), r.Rows, r.ThroughputRPS, r.ThroughputRows, r.P50MS, r.P99MS, r.Rejected, r.Failed)
+}
+
+// RunLoadgen runs a closed-loop load test: Clients goroutines each issue
+// Requests transform calls back to back and every successful request's
+// latency is recorded. 429s count as Rejected (the admission control doing
+// its job under saturation), other non-200s as Failed; neither contributes a
+// latency sample.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.Clients <= 0 || cfg.Requests <= 0 || cfg.RowsPerRequest <= 0 {
+		return nil, fmt.Errorf("serve: loadgen needs positive clients, requests and rows per request")
+	}
+	if cfg.NewRow == nil {
+		return nil, fmt.Errorf("serve: loadgen needs a NewRow function")
+	}
+	url := fmt.Sprintf("%s/v1/plans/%s/transform", cfg.URL, cfg.Plan)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Clients}}
+
+	type clientTally struct {
+		lat                []time.Duration
+		rejected, failed   int
+		requests, rowsSent int
+		err                error
+	}
+	tallies := make([]clientTally, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			t.lat = make([]time.Duration, 0, cfg.Requests)
+			for seq := 0; seq < cfg.Requests; seq++ {
+				if ctx.Err() != nil {
+					t.err = ctx.Err()
+					return
+				}
+				rows := make([]map[string]interface{}, cfg.RowsPerRequest)
+				for i := range rows {
+					rows[i] = cfg.NewRow(c, seq, i)
+				}
+				body, err := json.Marshal(map[string]interface{}{"rows": rows})
+				if err != nil {
+					t.err = err
+					return
+				}
+				t.requests++
+				t.rowsSent += cfg.RowsPerRequest
+				reqStart := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					t.err = err
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					t.failed++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					t.lat = append(t.lat, time.Since(reqStart))
+				case resp.StatusCode == http.StatusTooManyRequests:
+					t.rejected++
+				default:
+					t.failed++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadgenResult{Clients: cfg.Clients, DurationMS: float64(elapsed.Nanoseconds()) / 1e6}
+	var lat []time.Duration
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			return nil, t.err
+		}
+		res.Requests += t.requests
+		res.Rows += t.rowsSent
+		res.Rejected += t.rejected
+		res.Failed += t.failed
+		lat = append(lat, t.lat...)
+	}
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		ok := res.Requests - res.Rejected - res.Failed
+		res.ThroughputRPS = float64(ok) / secs
+		res.ThroughputRows = float64(ok*cfg.RowsPerRequest) / secs
+	}
+	res.P50MS = percentileMS(lat, 0.50)
+	res.P99MS = percentileMS(lat, 0.99)
+	return res, nil
+}
+
+// percentileMS returns the p-quantile of lat in milliseconds (nearest-rank).
+func percentileMS(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(p * float64(len(lat)-1))
+	return float64(lat[idx].Nanoseconds()) / 1e6
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/query"
+)
+
+// planCounters is the serve-side counter block of one plan handle. Counters
+// live on the handle, not the swappable state, so a hot-swap never resets
+// them; executor counters are read from whichever transformer currently
+// serves (handles wire every bound executor to the same process-level
+// caches, so the engine-side story stays coherent across swaps).
+type planCounters struct {
+	requests         atomic.Int64
+	rows             atomic.Int64
+	soloBatches      atomic.Int64
+	coalescedBatches atomic.Int64
+	coalescedRows    atomic.Int64
+	rejected         atomic.Int64
+}
+
+// PlanStats is the /v1/stats snapshot of one served plan: serve-side
+// counters merged with the current transformer's executor counters.
+type PlanStats struct {
+	Plan    string `json:"plan"`
+	Version int64  `json:"version"`
+	// Requests and Rows count admitted transform requests and their rows.
+	Requests int64 `json:"requests"`
+	Rows     int64 `json:"rows"`
+	// SoloBatches counts AugmentMatrix passes that served one request;
+	// CoalescedBatches counts passes that fused two or more, covering
+	// CoalescedRows rows in total.
+	SoloBatches      int64 `json:"solo_batches"`
+	CoalescedBatches int64 `json:"coalesced_batches"`
+	CoalescedRows    int64 `json:"coalesced_rows"`
+	// RejectedRequests counts admission-control rejections (429s).
+	RejectedRequests int64 `json:"rejected_requests"`
+	// SwapCount counts successful hot-swaps since boot.
+	SwapCount int64 `json:"swap_count"`
+	// Executor is the current transformer's engine-side counter snapshot
+	// (for multi-table plans, merged across the per-source executors).
+	Executor query.ExecutorStats `json:"executor"`
+}
+
+// Stats is the full /v1/stats snapshot: one PlanStats per plan, name order.
+type Stats struct {
+	Plans []PlanStats `json:"plans"`
+}
+
+func (h *planHandle) snapshot() PlanStats {
+	st := h.state.Load()
+	return PlanStats{
+		Plan:             h.name,
+		Version:          st.version,
+		Requests:         h.counters.requests.Load(),
+		Rows:             h.counters.rows.Load(),
+		SoloBatches:      h.counters.soloBatches.Load(),
+		CoalescedBatches: h.counters.coalescedBatches.Load(),
+		CoalescedRows:    h.counters.coalescedRows.Load(),
+		RejectedRequests: h.counters.rejected.Load(),
+		SwapCount:        h.swaps.Load(),
+		Executor:         st.tr.Stats(),
+	}
+}
