@@ -34,6 +34,16 @@
 // indexes and scan state the search warmed are reused instead of rebuilt:
 //
 //	feataug -fit tmall -rows 400 -seed 1 -plan-out plan.json -transform tmall -out batch.csv -v
+//
+// The -v executor-stats block also reports the dictionary-encoding counters
+// (PR 8): "dict: N encodes / M hits, K code-kernel predicates" — encode
+// passes paid to dictionary-encode string columns, lookups served from an
+// already-built encoding, and predicate bitmaps built through the branch-free
+// dictionary-code kernels (string equality as a single code compare, int/time
+// ranges as a code-interval test) instead of per-row value compares. The
+// encoded and unencoded paths are bit-identical; query.Executor's
+// DisableDictEncoding knob forces the unencoded fallbacks and is swept by the
+// differential tests.
 package main
 
 import (
@@ -636,4 +646,9 @@ func printFusionStats(stderr io.Writer, mode string, s repro.ExecutorStats) {
 	// (shards subscribing to a sibling's pass), and morsels walked in total.
 	fmt.Fprintf(stderr, "%s: shared scans: %d passes, %d subscribed, %d morsels scanned\n",
 		mode, s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned)
+	// The dictionary-encoding counters: encode passes this executor set paid,
+	// lookups served from an existing encoding, and predicate bitmaps built
+	// through the branch-free code kernels instead of value compares.
+	fmt.Fprintf(stderr, "%s: dict: %d encodes / %d hits, %d code-kernel predicates\n",
+		mode, s.DictEncodes, s.DictHits, s.CodePredScans)
 }

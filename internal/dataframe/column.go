@@ -57,6 +57,10 @@ type Column struct {
 	strs   []string  // KindString
 	bools  []bool    // KindBool
 	valid  []bool    // valid[i] == false means NULL
+	// dict lazily caches the dictionary encoding of a string column (see
+	// dict.go). A plain pointer, not a lock, so by-value copies (Rename)
+	// stay vet-clean and share the encoding.
+	dict *dictLazy
 }
 
 // NewIntColumn builds an int column. A nil valid slice means all values are
@@ -78,7 +82,7 @@ func NewFloatColumn(name string, values []float64, valid []bool) *Column {
 
 // NewStringColumn builds a string column.
 func NewStringColumn(name string, values []string, valid []bool) *Column {
-	return &Column{name: name, kind: KindString, strs: values, valid: normValid(valid, len(values))}
+	return &Column{name: name, kind: KindString, strs: values, valid: normValid(valid, len(values)), dict: &dictLazy{}}
 }
 
 // NewTimeColumn builds a time column from unix-seconds timestamps.
@@ -294,6 +298,7 @@ func (c *Column) Take(idx []int) *Column {
 			out.strs[j] = c.strs[i]
 			out.valid[j] = c.valid[i]
 		}
+		out.dict = &dictLazy{}
 	case KindBool:
 		out.bools = make([]bool, len(idx))
 		for j, i := range idx {
@@ -366,6 +371,7 @@ func sortStrings(s []string) {
 
 // AppendNull extends the column with one NULL row.
 func (c *Column) AppendNull() {
+	c.invalidateDict()
 	c.valid = append(c.valid, false)
 	switch c.kind {
 	case KindInt, KindTime:
@@ -402,6 +408,7 @@ func (c *Column) AppendStr(v string) {
 	if c.kind != KindString {
 		panic("dataframe: AppendStr on " + c.kind.String())
 	}
+	c.invalidateDict()
 	c.strs = append(c.strs, v)
 	c.valid = append(c.valid, true)
 }
@@ -418,6 +425,9 @@ func (c *Column) AppendBool(v bool) {
 // Clone deep-copies the column.
 func (c *Column) Clone() *Column {
 	out := &Column{name: c.name, kind: c.kind}
+	if c.kind == KindString {
+		out.dict = &dictLazy{}
+	}
 	out.valid = append([]bool(nil), c.valid...)
 	out.ints = append([]int64(nil), c.ints...)
 	out.floats = append([]float64(nil), c.floats...)

@@ -37,6 +37,9 @@ func ReadCSV(r io.Reader, specs []ColumnSpec) (*Table, error) {
 		}
 		idx[i] = p
 		cols[i] = &Column{name: s.Name, kind: s.Kind}
+		if s.Kind == KindString {
+			cols[i].dict = &dictLazy{}
+		}
 	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()

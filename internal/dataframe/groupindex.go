@@ -18,7 +18,26 @@ type GroupIndex struct {
 // BuildGroupIndex scans the table once and assigns every row its group id
 // under the composite value of the named key columns. NULL keys form their
 // own group, matching SQL GROUP BY semantics.
+//
+// Key shapes with integer structure skip the composite string keys entirely:
+// a single int/time key hashes raw int64s, a single dictionary-encoded string
+// key indexes a dense code table, and an all-string key-set whose every
+// column carries a dictionary maps composite codes (dense when the code-space
+// product is small, a map[uint64]int otherwise). Group numbering, NULL-group
+// handling and Key(gid) bytes are identical across every path.
 func (t *Table) BuildGroupIndex(keyCols ...string) (*GroupIndex, error) {
+	return t.buildGroupIndex(true, keyCols)
+}
+
+// BuildGroupIndexGeneric is BuildGroupIndex with the dictionary-code paths
+// disabled (the single-int fast path predates them and stays). It exists for
+// the encoded-vs-unencoded differential sweeps; production callers want
+// BuildGroupIndex.
+func (t *Table) BuildGroupIndexGeneric(keyCols ...string) (*GroupIndex, error) {
+	return t.buildGroupIndex(false, keyCols)
+}
+
+func (t *Table) buildGroupIndex(useDict bool, keyCols []string) (*GroupIndex, error) {
 	cols, err := t.resolveColumns(keyCols)
 	if err != nil {
 		return nil, err
@@ -31,6 +50,20 @@ func (t *Table) BuildGroupIndex(keyCols ...string) (*GroupIndex, error) {
 	if len(cols) == 1 && (cols[0].Kind() == KindInt || cols[0].Kind() == KindTime) {
 		g.buildSingleInt(cols[0])
 		return g, nil
+	}
+	if useDict {
+		if len(cols) == 1 && cols[0].Kind() == KindString {
+			if enc := cols[0].Dict(); enc != nil {
+				g.buildSingleString(cols[0], enc)
+				return g, nil
+			}
+		}
+		if len(cols) > 1 {
+			if encs, ok := comboDicts(cols); ok {
+				g.buildStringCombo(cols, encs)
+				return g, nil
+			}
+		}
 	}
 	ids := make(map[string]int)
 	buf := make([]byte, 0, 48)
@@ -82,6 +115,129 @@ func (g *GroupIndex) buildSingleInt(c *Column) {
 		g.rowGID[i] = gid
 		g.sizes[gid]++
 	}
+}
+
+// buildSingleString is the dictionary fast path for one string key column:
+// rows index a dense code->gid table (one extra slot for the NULL group)
+// instead of hashing, with the composite key string still materialised once
+// per group so Key(gid) stays byte-identical with the generic path.
+func (g *GroupIndex) buildSingleString(c *Column, enc *DictEncoding) {
+	codes, valid := enc.Codes(), c.ValidData()
+	card := enc.Cardinality()
+	gidOf := make([]int, card+1) // slot card = NULL
+	for i := range gidOf {
+		gidOf[i] = -1
+	}
+	for i := range g.rowGID {
+		slot := card
+		if valid[i] {
+			slot = int(codes[i])
+		}
+		gid := gidOf[slot]
+		if gid < 0 {
+			gid = g.newGroup(i, c)
+			gidOf[slot] = gid
+		}
+		g.rowGID[i] = gid
+		g.sizes[gid]++
+	}
+}
+
+// comboDictBound caps the composite code space Π(cardinality+1) so the
+// stride arithmetic below cannot overflow; beyond it the generic path runs.
+const comboDictBound = uint64(1) << 62
+
+// comboDicts returns the dictionary of every key column when ALL of them are
+// dictionary-encoded strings and the composite code space stays within
+// comboDictBound; (nil, false) sends the build down the generic path.
+func comboDicts(cols []*Column) ([]*DictEncoding, bool) {
+	encs := make([]*DictEncoding, len(cols))
+	space := uint64(1)
+	for j, c := range cols {
+		if c.Kind() != KindString {
+			return nil, false
+		}
+		enc := c.Dict()
+		if enc == nil {
+			return nil, false
+		}
+		encs[j] = enc
+		slots := uint64(enc.Cardinality() + 1) // +1 for the NULL slot
+		if space > comboDictBound/slots {
+			return nil, false
+		}
+		space *= slots
+	}
+	return encs, true
+}
+
+// buildStringCombo is the dictionary fast path for an all-string key-set:
+// each row's composite code is the mixed-radix number of its per-column
+// slots (code, or cardinality for NULL). Small code spaces index a dense
+// table; larger ones hash the uint64 — either way no per-row key string is
+// built, and Key(gid) bytes still come from appendRowKey once per group.
+func (g *GroupIndex) buildStringCombo(cols []*Column, encs []*DictEncoding) {
+	n := len(g.rowGID)
+	codes := make([][]uint32, len(encs))
+	valids := make([][]bool, len(encs))
+	cards := make([]uint64, len(encs))
+	space := uint64(1)
+	for j, enc := range encs {
+		codes[j] = enc.Codes()
+		valids[j] = cols[j].ValidData()
+		cards[j] = uint64(enc.Cardinality())
+		space *= cards[j] + 1
+	}
+	rowCode := func(i int) uint64 {
+		code := uint64(0)
+		for j := range encs {
+			slot := cards[j]
+			if valids[j][i] {
+				slot = uint64(codes[j][i])
+			}
+			code = code*(cards[j]+1) + slot
+		}
+		return code
+	}
+	// Dense only when the code space is commensurate with the table; a
+	// sparse huge domain would spend more on clearing than it saves.
+	if space <= uint64(4*n)+1024 {
+		gidOf := make([]int, space)
+		for i := range gidOf {
+			gidOf[i] = -1
+		}
+		for i := 0; i < n; i++ {
+			code := rowCode(i)
+			gid := gidOf[code]
+			if gid < 0 {
+				gid = g.newGroupRow(i, cols)
+				gidOf[code] = gid
+			}
+			g.rowGID[i] = gid
+			g.sizes[gid]++
+		}
+		return
+	}
+	ids := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		code := rowCode(i)
+		gid, ok := ids[code]
+		if !ok {
+			gid = g.newGroupRow(i, cols)
+			ids[code] = gid
+		}
+		g.rowGID[i] = gid
+		g.sizes[gid]++
+	}
+}
+
+// newGroupRow is newGroup over a composite key-set.
+func (g *GroupIndex) newGroupRow(i int, cols []*Column) int {
+	gid := len(g.repr)
+	g.repr = append(g.repr, i)
+	g.sizes = append(g.sizes, 0)
+	g.keyStrs = append(g.keyStrs, string(appendRowKey(nil, i, cols)))
+	return gid
 }
 
 // newGroup registers row i as the representative of a fresh group and returns

@@ -75,6 +75,7 @@ func takeWithMisses(c *Column, idx []int) *Column {
 		out.floats = make([]float64, len(idx))
 	case KindString:
 		out.strs = make([]string, len(idx))
+		out.dict = &dictLazy{}
 	case KindBool:
 		out.bools = make([]bool, len(idx))
 	}

@@ -21,12 +21,17 @@ import (
 
 // maxCountingDomain bounds the code domain (distinct strings, or the numeric
 // range width) the counting path accepts; larger domains fall back to the
-// comparison sort.
-const maxCountingDomain = 1024
+// comparison sort. It equals the dictionary cardinality cap, so a string
+// column is counting-eligible exactly when it carries a dictionary.
+const maxCountingDomain = dataframe.MaxDictCardinality
 
 // maxCountingAbs bounds |value| for numeric domains so float64(base+code)
 // reconstructs the column's float view bit for bit.
 const maxCountingAbs = int64(1) << 31
+
+// maxExactIntAbs bounds |value| so float64(value) is exact, which makes the
+// integer-compare range kernels (dict.go) equivalent to the float-view loops.
+const maxExactIntAbs = int64(1) << 53
 
 // domainEntry is the cached cardinality probe of one aggregation attribute.
 // All fields are read-only after the once completes.
@@ -36,7 +41,17 @@ type domainEntry struct {
 	k     int      // code domain size: codes are 0..k-1
 	base  int64    // numeric columns: code = int64(value) - base
 	svals []string // string columns: distinct values ascending; code = rank
-	codes []int32  // string columns: per-row code (unspecified at NULL rows)
+	codes []uint32 // string columns: per-row code (the dictionary's, shared)
+
+	// Integer predicate-kernel state (int/time columns; see dict.go). intOK
+	// marks every value within maxExactIntAbs, so integer compares against
+	// exact bounds reproduce the float-view semantics bit for bit.
+	intOK    bool
+	mn, mx   int64    // observed non-null min/max (valid when intOK)
+	ivals    []int64  // backing ints (shared with the column)
+	vbits    []uint64 // validity bitmap, LSB-first per word
+	ncodes8  []uint8  // value-base codes when ok and the width fits uint8
+	ncodes16 []uint16 // value-base codes when ok with a wider domain
 }
 
 // countingScan bumps the counting-path counter (one attrScan whose per-group
@@ -97,44 +112,54 @@ func (ent *domainEntry) probe(col *dataframe.Column) {
 				mx = v
 			}
 		}
-		if !seen || mn < -maxCountingAbs || mx > maxCountingAbs {
+		if !seen {
+			return
+		}
+		if mn >= -maxExactIntAbs && mx <= maxExactIntAbs {
+			// The integer range kernels can serve this column: record the
+			// bounds, backing ints and a validity bitmap (see dict.go).
+			ent.intOK, ent.mn, ent.mx, ent.ivals = true, mn, mx, vals
+			ent.vbits = make([]uint64, (len(vals)+63)/64)
+			for i, ok := range valid {
+				if ok {
+					ent.vbits[i>>6] |= 1 << uint(i&63)
+				}
+			}
+		}
+		if mn < -maxCountingAbs || mx > maxCountingAbs {
 			return
 		}
 		if width := mx - mn + 1; width <= maxCountingDomain {
 			ent.ok, ent.base, ent.k = true, mn, int(width)
+			// Narrow-int detection: the counting-eligible width also fits a
+			// uint8/uint16 code array, giving range predicates a code-interval
+			// kernel over one byte (or two) per row.
+			if width <= 1<<8 {
+				ent.ncodes8 = make([]uint8, len(vals))
+				for i, v := range vals {
+					if valid[i] {
+						ent.ncodes8[i] = uint8(v - mn)
+					}
+				}
+			} else {
+				ent.ncodes16 = make([]uint16, len(vals))
+				for i, v := range vals {
+					if valid[i] {
+						ent.ncodes16[i] = uint16(v - mn)
+					}
+				}
+			}
 		}
 	case dataframe.KindString:
-		strs := col.StrData()
-		distinct := map[string]int32{}
-		for i, s := range strs {
-			if !valid[i] {
-				continue
-			}
-			if _, dup := distinct[s]; !dup {
-				if len(distinct) >= maxCountingDomain {
-					return
-				}
-				distinct[s] = 0
-			}
-		}
-		if len(distinct) == 0 {
+		// The dictionary (dict.go) is the probe: its cardinality cap equals
+		// maxCountingDomain, its values are already sorted and its codes are
+		// the per-row ranks — shared, not re-derived.
+		enc := col.Dict()
+		if enc == nil || enc.Cardinality() == 0 {
 			return
 		}
-		vals := make([]string, 0, len(distinct))
-		for s := range distinct {
-			vals = append(vals, s)
-		}
-		slices.Sort(vals)
-		for rank, s := range vals {
-			distinct[s] = int32(rank)
-		}
-		codes := make([]int32, len(strs))
-		for i, s := range strs {
-			if valid[i] {
-				codes[i] = distinct[s]
-			}
-		}
-		ent.ok, ent.k, ent.svals, ent.codes = true, len(vals), vals, codes
+		ent.ok, ent.k = true, enc.Cardinality()
+		ent.svals, ent.codes = enc.Values(), enc.Codes()
 	}
 }
 
@@ -178,12 +203,12 @@ func (as *attrScan) countingSortFloats(seg []float64, base int64, k int) {
 // scattered codes: count the segment's codes, then emit each distinct value's
 // run in rank order — the exact output slices.Sort would produce over the
 // scattered strings, with int32 moves instead of string compares.
-func (as *attrScan) countingFillStrings(dst []string, codeSeg []int32, svals []string, k int) {
+func (as *attrScan) countingFillStrings(dst []string, codeSeg []uint32, svals []string, k int) {
 	cnt := as.countScratch(k)
 	touched := as.touched[:0]
 	for _, c := range codeSeg {
 		if cnt[c] == 0 {
-			touched = append(touched, c)
+			touched = append(touched, int32(c))
 		}
 		cnt[c]++
 	}

@@ -72,6 +72,13 @@ type Executor struct {
 	// comparison sort even when the aggregation attribute has a cached
 	// low-cardinality domain. Differential tests and benchmarks flip it.
 	DisableCountingSort bool
+	// DisableDictEncoding forces the unencoded scan kernels: string equality
+	// predicates compare Go strings row by row, int/time ranges scan the
+	// float view, and group indexes hash composite keys instead of mapping
+	// dictionary codes. Results are bit-identical either way (the
+	// differential tests sweep this knob); the counting-sort path keeps its
+	// own knob and is unaffected.
+	DisableDictEncoding bool
 
 	joinCache *JoinCache // train-side index sharing; ProcessJoinCache by default
 
@@ -107,6 +114,13 @@ type ExecutorStats struct {
 	// (1.0 = the per-query path).
 	ScatterPasses, ScatterQueries int64
 	CountingScans                 int64 // fused sorts served by the counting path
+	// Dictionary encoding (see dict.go): DictEncodes counts first-use
+	// dictionary builds charged to this executor's core, DictHits counts
+	// lookups served by an existing encoding, and CodePredScans counts
+	// predicate bitmaps built through the branch-free code kernels instead
+	// of the row-at-a-time comparison loops.
+	DictEncodes, DictHits int64
+	CodePredScans         int64
 	// Cross-executor scan sharing (ScanScheduler): full-table passes this
 	// executor ran to build a shared-core entry (group index, predicate
 	// bitmap, float view, domain probe) vs lookups that subscribed to an entry
@@ -143,6 +157,9 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 	s.ScatterPasses += o.ScatterPasses
 	s.ScatterQueries += o.ScatterQueries
 	s.CountingScans += o.CountingScans
+	s.DictEncodes += o.DictEncodes
+	s.DictHits += o.DictHits
+	s.CodePredScans += o.CodePredScans
 	s.SharedScanPasses += o.SharedScanPasses
 	s.SharedScanSubscribers += o.SharedScanSubscribers
 	s.MorselsScanned += o.MorselsScanned
@@ -153,12 +170,13 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 // String renders the snapshot as one compact log line.
 func (s ExecutorStats) String() string {
 	return fmt.Sprintf(
-		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, shared-scans %d passes / %d subscribed, %d morsels, %d evictions",
+		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, dict %d encodes / %d hits (%d code preds), shared-scans %d passes / %d subscribed, %d morsels, %d evictions",
 		s.GroupHits, s.GroupMisses, s.MaskHits, s.MaskMisses, s.PredHits, s.PredMisses,
 		s.PlanHits, s.PlanMisses, s.JoinHits, s.JoinMisses,
 		s.SharedJoinHits, s.SharedJoinMisses,
 		s.FusedQueries, s.FusedScans, s.CountingScans, s.CoreQueries,
 		s.ScatterQueries, s.ScatterPasses,
+		s.DictEncodes, s.DictHits, s.CodePredScans,
 		s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned,
 		s.Evictions+s.SharedJoinEvictions)
 }
@@ -348,6 +366,17 @@ func (e *Executor) groupIndex(keys []string) (*dataframe.GroupIndex, error) {
 	c.mu.Unlock()
 	e.noteShared(hit, evicted, ent.owner, &e.stats.GroupHits, &e.stats.GroupMisses, true)
 	ent.once.Do(func() {
+		if e.DisableDictEncoding {
+			ent.idx, ent.err = c.t.BuildGroupIndexGeneric(keys...)
+			return
+		}
+		// Route string key encodes through dictFor first, so the encode is
+		// charged to the executor's counters before the build consumes it.
+		for _, name := range keys {
+			if kc := c.t.Column(name); kc != nil && kc.Kind() == dataframe.KindString {
+				e.dictFor(kc)
+			}
+		}
 		ent.idx, ent.err = c.t.BuildGroupIndex(keys...)
 	})
 	return ent.idx, ent.err
@@ -384,10 +413,50 @@ func predCacheKey(p Predicate) string {
 	return string(b)
 }
 
+// predKey is predCacheKey specialised to the executor's table: the equality
+// operand the column's kind cannot read is dropped, and when the column is
+// dictionary-encoded the string operand collapses to its dictionary code —
+// the canonical identity — so predicate spellings that differ only in the
+// irrelevant operand (or quote to the same dictionary entry) share one cache
+// entry and one mask signature. Predicates the table cannot resolve keep the
+// generic encoding (they error later, in buildPredBits).
+func (e *Executor) predKey(p Predicate) string {
+	if p.Kind != PredEq {
+		return predCacheKey(p)
+	}
+	col := e.core.t.Column(p.Attr)
+	if col == nil {
+		return predCacheKey(p)
+	}
+	b := make([]byte, 0, len(p.Attr)+16)
+	b = append(b, p.Attr...)
+	switch col.Kind() {
+	case dataframe.KindString:
+		if !e.DisableDictEncoding {
+			if enc := e.dictFor(col); enc != nil {
+				if code, ok := enc.CodeOf(p.StrValue); ok {
+					b = append(b, "=c"...)
+					return string(strconv.AppendUint(b, uint64(code), 10))
+				}
+				// Operands outside the dictionary select zero rows each;
+				// distinct literals stay distinct (identical, empty) entries.
+			}
+		}
+		b = append(b, "=s"...)
+		return string(append(b, p.StrValue...))
+	case dataframe.KindBool:
+		if p.BoolValue {
+			return string(append(b, "=b1"...))
+		}
+		return string(append(b, "=b0"...))
+	}
+	return predCacheKey(p)
+}
+
 // predMask returns the cached full-table row bitmap of one predicate,
 // evaluating it on first use.
 func (e *Executor) predMask(p Predicate) ([]uint64, error) {
-	k := predCacheKey(p)
+	k := e.predKey(p)
 	c := e.core
 	c.mu.Lock()
 	ent, hit, evicted := coreGet(&c.preds, k, maxPredEntries,
@@ -449,6 +518,12 @@ func (e *Executor) floatView(col *dataframe.Column) []float64 {
 // kind-specialised loops (direct slice access instead of Predicate.Eval's
 // per-row AsFloat calls). Semantics match Eval exactly: NULL rows never
 // match, bounds are inclusive.
+//
+// When the executor's dictionary kernels are enabled (the default), string
+// equality resolves the operand to its code and compares narrow integers,
+// and int/time ranges compare exact integer bounds — both branch-free, word
+// at a time (see dict.go). The fallbacks below remain the reference
+// semantics the differential tests sweep against.
 func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
 	col := e.core.t.Column(p.Attr)
 	if col == nil {
@@ -462,6 +537,16 @@ func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
 	case PredEq:
 		switch col.Kind() {
 		case dataframe.KindString:
+			if !e.DisableDictEncoding {
+				if enc := e.dictFor(col); enc != nil {
+					e.noteCodePred()
+					if code, ok := enc.CodeOf(p.StrValue); ok {
+						dictEqBits(enc, code, bm)
+					}
+					// Operand not in the dictionary: no row matches.
+					return bm, nil
+				}
+			}
 			strs := col.StrData()
 			for i := 0; i < n; i++ {
 				if valid[i] && strs[i] == p.StrValue {
@@ -481,6 +566,14 @@ func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
 	case PredRange:
 		if !col.Kind().IsNumeric() {
 			return nil, fmt.Errorf("query: range predicate on %s column %q", col.Kind(), p.Attr)
+		}
+		if k := col.Kind(); !e.DisableDictEncoding && (p.HasLo || p.HasHi) &&
+			(k == dataframe.KindInt || k == dataframe.KindTime) {
+			if dom := e.domain(col); dom.intOK {
+				e.noteCodePred()
+				intRangeBits(dom, p, bm)
+				return bm, nil
+			}
 		}
 		vals := e.floatView(col)
 		switch {
@@ -546,12 +639,23 @@ func decomposePreds(preds []Predicate) []Predicate {
 // a BETWEEN spelled as two one-sided ranges — share a signature and therefore
 // a mask entry and a plan group. The empty signature means "all rows".
 func maskSignature(preds []Predicate) string {
+	return maskSigWith(preds, predCacheKey)
+}
+
+// maskSig is maskSignature through the executor's kind-aware predKey, so
+// equality spellings that collapse to one dictionary code also collapse to
+// one signature (and therefore one mask entry and plan group).
+func (e *Executor) maskSig(preds []Predicate) string {
+	return maskSigWith(preds, e.predKey)
+}
+
+func maskSigWith(preds []Predicate, key func(Predicate) string) string {
 	if len(preds) == 0 {
 		return ""
 	}
 	keys := make([]string, 0, len(preds)+2)
 	for _, p := range decomposePreds(preds) {
-		keys = append(keys, predCacheKey(p))
+		keys = append(keys, key(p))
 	}
 	sort.Strings(keys)
 	uniq := keys[:1]
@@ -567,7 +671,7 @@ func maskSignature(preds []Predicate) string {
 // plus matching-row indices — building it from the per-predicate bitmaps on
 // first use. A predicate-free query returns (sig "", nil, nil): all rows.
 func (e *Executor) whereEntry(preds []Predicate) (string, *maskEntry, error) {
-	sig := maskSignature(preds)
+	sig := e.maskSig(preds)
 	if sig == "" {
 		return "", nil, nil
 	}
@@ -602,17 +706,20 @@ func (e *Executor) whereEntry(preds []Predicate) (string, *maskEntry, error) {
 }
 
 // matchedRows materialises the row indices a bitmap selects, in ascending
-// order.
+// order. The popcount pass sizes the slice exactly, so the walk stores by
+// index — no append bookkeeping, no realloc chain.
 func matchedRows(mask []uint64) []int {
 	cnt := 0
 	for _, w := range mask {
 		cnt += bits.OnesCount64(w)
 	}
-	rows := make([]int, 0, cnt)
+	rows := make([]int, cnt)
+	ri := 0
 	for wi, w := range mask {
 		base := wi << 6
 		for w != 0 {
-			rows = append(rows, base+bits.TrailingZeros64(w))
+			rows[ri] = base + bits.TrailingZeros64(w)
+			ri++
 			w &= w - 1
 		}
 	}
@@ -1202,7 +1309,7 @@ func (e *Executor) augmentMatrixCore(ctx context.Context, d *dataframe.Table, qs
 	}
 	// One plan-group partition serves both stages: shared scans, then the
 	// shared train-side scatter.
-	order := groupBatch(qs)
+	order := e.groupBatch(qs)
 	ers, err := e.executeGrouped(ctx, qs, order, false)
 	if err != nil {
 		return nil, err

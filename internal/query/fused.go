@@ -66,11 +66,13 @@ type fusedGroup struct {
 
 // groupBatch partitions a batch by plan group — one (key-set, canonical
 // WHERE-mask signature) pair — deduplicating agg pairs within each group.
-func groupBatch(qs []Query) []*fusedGroup {
+// Signatures come from the executor's kind-aware predKey, matching the plan
+// cache's identity exactly.
+func (e *Executor) groupBatch(qs []Query) []*fusedGroup {
 	groups := map[planKey]*fusedGroup{}
 	var order []*fusedGroup
 	for i, q := range qs {
-		pk := planKey{keys: strings.Join(q.Keys, "\x1f"), sig: maskSignature(q.Preds)}
+		pk := planKey{keys: strings.Join(q.Keys, "\x1f"), sig: e.maskSig(q.Preds)}
 		g, ok := groups[pk]
 		if !ok {
 			g = &fusedGroup{
@@ -141,7 +143,7 @@ func (e *Executor) executeGrouped(ctx context.Context, qs []Query, order []*fuse
 	}
 
 	if order == nil {
-		order = groupBatch(qs)
+		order = e.groupBatch(qs)
 	}
 
 	err := par.ForEachCtx(ctx, e.Parallelism, len(order), func(gidx int) error {
@@ -217,7 +219,7 @@ type attrScan struct {
 	dom     *domainEntry
 	cnt     []int32
 	touched []int32
-	cbuf    []int32
+	cbuf    []uint32
 }
 
 // streamable reports whether fn is served by the streaming passes (A/B) on a
@@ -382,7 +384,7 @@ func (as *attrScan) scan(ctx context.Context, e *Executor, pe *planEntry, ngroup
 			// no string moves in the scatter, no string compares at all.
 			e.countingScan()
 			if cap(as.cbuf) < as.offs[ngroups] {
-				as.cbuf = make([]int32, as.offs[ngroups])
+				as.cbuf = make([]uint32, as.offs[ngroups])
 			}
 			cbuf := as.cbuf[:as.offs[ngroups]]
 			codes, fill := as.dom.codes, as.fill

@@ -41,6 +41,7 @@ type tableCore struct {
 	masks   map[string]*maskEntry
 	views   map[string]*viewEntry   // per-column float views (int/time/bool)
 	domains map[string]*domainEntry // per-column low-cardinality domain probes
+	dicts   map[string]*dictEntry   // per-column dictionary encodings (see dict.go)
 	allRows []int                   // lazily built identity row list
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -562,5 +563,63 @@ func TestServeHTTPSurface(t *testing.T) {
 	resp.Body.Close()
 	if len(st.Plans) != 1 || st.Plans[0].Plan != "p" {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestServeStatsDictCounters pins the PR 8 dictionary counters on the stats
+// surface: the /v1/stats JSON must carry the new executor fields, binding a
+// plan must eagerly encode the relevant table's string columns, and serving
+// a plan with string-equality predicates must route them through the
+// dictionary-code kernels.
+func TestServeStatsDictCounters(t *testing.T) {
+	rel := testRelevant(t, 500, 20, 9)
+	srv := NewServer(Config{CoalesceWindow: -1})
+	if err := srv.AddPlan("p", testPlanJSON(t, 4), PlanBinding{Relevant: rel}); err != nil {
+		t.Fatal(err)
+	}
+	// AddPlan encodes at bind; the table's one string column is encodable.
+	if n := rel.EncodeDicts(); n != 1 {
+		t.Errorf("EncodeDicts = %d encoded columns, want 1", n)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/plans/p/transform", "application/json",
+		strings.NewReader(`{"rows":[{"uid":1},{"uid":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transform = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"DictEncodes", "DictHits", "CodePredScans"} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Errorf("/v1/stats JSON missing executor field %q", field)
+		}
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Plans) != 1 {
+		t.Fatalf("stats plans = %d", len(st.Plans))
+	}
+	ex := st.Plans[0].Executor
+	if ex.DictEncodes+ex.DictHits == 0 {
+		t.Errorf("no dictionary lookups recorded: %+v", ex)
+	}
+	if ex.CodePredScans == 0 {
+		t.Errorf("string-equality predicates did not use the code kernels: %+v", ex)
 	}
 }
