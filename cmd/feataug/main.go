@@ -651,4 +651,10 @@ func printFusionStats(stderr io.Writer, mode string, s repro.ExecutorStats) {
 	// through the branch-free code kernels instead of value compares.
 	fmt.Fprintf(stderr, "%s: dict: %d encodes / %d hits, %d code-kernel predicates\n",
 		mode, s.DictEncodes, s.DictHits, s.CodePredScans)
+	// The delta-maintenance counters: append epochs absorbed by advancing
+	// caches over the new rows only, delta rows those advances visited,
+	// sorted aggregate runs re-sorted in place, and advances that fell back
+	// to wiping the caches for a full rebuild.
+	fmt.Fprintf(stderr, "%s: delta: %d appends absorbed, %d delta rows scanned, %d group resorts, %d full rebuilds\n",
+		mode, s.DeltaAppends, s.DeltaRowsScanned, s.DirtyGroupResorts, s.FullRebuilds)
 }

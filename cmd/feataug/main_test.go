@@ -219,6 +219,12 @@ func TestFitTransformCombined(t *testing.T) {
 	if !strings.Contains(errOut, "fit: shared scans:") || !strings.Contains(errOut, "transform: shared scans:") {
 		t.Fatalf("-v missing shared-scan lines for both modes: %s", errOut)
 	}
+	// The delta counters line, golden: a fit/transform run never appends, so
+	// it must report exactly zero absorbed appends and zero full rebuilds.
+	if !strings.Contains(errOut, "fit: delta: 0 appends absorbed") ||
+		!strings.Contains(errOut, "0 group resorts, 0 full rebuilds") {
+		t.Fatalf("-v missing or non-zero delta counters line: %s", errOut)
+	}
 	// The transform joins features onto the SAME training table the fit
 	// warmed the process join cache with, so the shared index must hit.
 	tail := errOut[strings.Index(errOut, "transform: scatter:"):]

@@ -12,8 +12,20 @@
 //	curl -s localhost:8080/v1/plans
 //	curl -s -X POST localhost:8080/v1/plans/student/transform \
 //	     -d '{"rows":[{"session_id":7},{"session_id":12}]}'
+//	curl -s -X POST localhost:8080/v1/plans/student/append \
+//	     -d '{"rows":[{"session_id":7,"action":"view","duration":12.5,"ts":100031}]}'
 //	curl -s -X POST localhost:8080/v1/plans/student --data-binary @student.v2.json
 //	curl -s localhost:8080/v1/stats
+//
+// POST /v1/plans/{name}/append absorbs streaming rows into the plan's bound
+// relevant table without rebinding or swapping: rows carry the table's full
+// schema (missing or null values become NULLs), the append runs through the
+// engine's epoch fence, and the bound executors advance their caches over
+// just the new rows on the next request. Single-table plans only. GET
+// /v1/stats reports the ingest side per plan — "appends" and "appended_rows"
+// count absorbed batches, "table_epoch" is the bound table's append epoch —
+// and the executor counters show how the engine kept up (DeltaAppends,
+// DeltaRowsScanned, DirtyGroupResorts, FullRebuilds).
 //
 // The -data scenario must regenerate the same relevant table(s) the plan was
 // fitted against (same dataset, -rows, -logs, -seed), mirroring a production

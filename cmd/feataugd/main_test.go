@@ -157,6 +157,37 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("post-swap transform = v%d with %d features, want v2 with 3", tr.Version, len(tr.Features))
 	}
 
+	// Streaming ingest: append two events (one with NULLs) into the bound
+	// relevant table, then transform again — the new rows must be visible.
+	appendBody := fmt.Sprintf(`{"rows":[
+		{"session_id":%d,"event_name":"click","level":3,"elapsed_time":120,"room_coor_x":1.5,"room_coor_y":-2.0,"hover_duration":40},
+		{"session_id":%d,"event_name":"nav","level":4,"elapsed_time":null}
+	]}`, key, key)
+	resp, err = http.Post(baseURL+"/v1/plans/student/append", "application/json", strings.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar struct {
+		Appended  int    `json:"appended"`
+		Epoch     uint64 `json:"epoch"`
+		TableRows int    `json:"table_rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ar.Appended != 2 || ar.Epoch != 1 {
+		t.Fatalf("append = %d %+v, want 200 with 2 rows at epoch 1", resp.StatusCode, ar)
+	}
+	resp, err = http.Post(baseURL+"/v1/plans/student/transform", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-append transform status = %d", resp.StatusCode)
+	}
+
 	// Stats reflect the traffic.
 	resp, err = http.Get(baseURL + "/v1/stats")
 	if err != nil {
@@ -164,17 +195,23 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	var st struct {
 		Plans []struct {
-			Plan      string `json:"plan"`
-			Requests  int64  `json:"requests"`
-			SwapCount int64  `json:"swap_count"`
+			Plan         string `json:"plan"`
+			Requests     int64  `json:"requests"`
+			SwapCount    int64  `json:"swap_count"`
+			Appends      int64  `json:"appends"`
+			AppendedRows int64  `json:"appended_rows"`
+			TableEpoch   uint64 `json:"table_epoch"`
 		} `json:"plans"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(st.Plans) != 1 || st.Plans[0].Requests != 2 || st.Plans[0].SwapCount != 1 {
-		t.Fatalf("stats = %+v; want 1 plan with 2 requests, 1 swap", st)
+	if len(st.Plans) != 1 || st.Plans[0].Requests != 3 || st.Plans[0].SwapCount != 1 {
+		t.Fatalf("stats = %+v; want 1 plan with 3 requests, 1 swap", st)
+	}
+	if st.Plans[0].Appends != 1 || st.Plans[0].AppendedRows != 2 || st.Plans[0].TableEpoch != 1 {
+		t.Fatalf("append stats = %+v; want 1 append of 2 rows at table epoch 1", st.Plans[0])
 	}
 
 	// The SIGTERM path: context cancellation must drain and exit nil.

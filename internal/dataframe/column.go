@@ -371,7 +371,9 @@ func sortStrings(s []string) {
 
 // AppendNull extends the column with one NULL row.
 func (c *Column) AppendNull() {
-	c.invalidateDict()
+	if c.kind == KindString {
+		c.extendDictNull()
+	}
 	c.valid = append(c.valid, false)
 	switch c.kind {
 	case KindInt, KindTime:
@@ -408,7 +410,7 @@ func (c *Column) AppendStr(v string) {
 	if c.kind != KindString {
 		panic("dataframe: AppendStr on " + c.kind.String())
 	}
-	c.invalidateDict()
+	c.extendDictStr(v)
 	c.strs = append(c.strs, v)
 	c.valid = append(c.valid, true)
 }
@@ -420,6 +422,25 @@ func (c *Column) AppendBool(v bool) {
 	}
 	c.bools = append(c.bools, v)
 	c.valid = append(c.valid, true)
+}
+
+// appendFrom bulk-appends every row of o (same kind, checked by the caller)
+// — the column half of Table.AppendRows. Existing rows keep their positions
+// and values; string columns extend a built dictionary in place when the
+// delta keeps existing codes stable (see extendDictBulk).
+func (c *Column) appendFrom(o *Column) {
+	switch c.kind {
+	case KindInt, KindTime:
+		c.ints = append(c.ints, o.ints...)
+	case KindFloat:
+		c.floats = append(c.floats, o.floats...)
+	case KindString:
+		c.extendDictBulk(o.strs, o.valid)
+		c.strs = append(c.strs, o.strs...)
+	case KindBool:
+		c.bools = append(c.bools, o.bools...)
+	}
+	c.valid = append(c.valid, o.valid...)
 }
 
 // Clone deep-copies the column.

@@ -4,11 +4,21 @@ package dataframe
 // strings with small integer codes over the sorted distinct domain: predicates
 // become integer compares, grouping becomes dense-array arithmetic, and the
 // counting-sort path reads the codes it used to re-derive per probe. The
-// encoding is immutable once built and cached on the column behind a
-// sync.Once, so every consumer of the same column — executors, shard
-// subscribers, served plans — shares one encode pass. Mutating the column
-// through the Append* methods invalidates the cache (a fresh holder replaces
-// it); columns follow the engine-wide contract that they are not mutated
+// encoding is cached on the column behind a sync.Once, so every consumer of
+// the same column — executors, shard subscribers, served plans — shares one
+// encode pass.
+//
+// Appends (PR 9) extend a built encoding IN PLACE whenever the delta keeps
+// existing codes stable: appended values already in the domain reuse their
+// code, and values sorting strictly after the current maximum join the end
+// of the sorted domain with the next codes — in both cases the extended
+// encoding is exactly what a from-scratch encode of the grown column would
+// produce, and the *DictEncoding pointer is unchanged (the query layer reads
+// pointer stability as "codes did not shift"). A mid-domain value would
+// shift every code at or after its rank, so it swaps in a fresh holder for a
+// lazy full re-encode (new pointer); a delta pushing the cardinality past
+// MaxDictCardinality sets the encoding to nil, matching the from-scratch
+// result. Columns follow the engine-wide contract that they are not mutated
 // while scans are in flight.
 
 import (
@@ -79,7 +89,7 @@ func (d *DictEncoding) CodeOf(s string) (uint32, bool) {
 
 // dictLazy is the column's once-guarded dictionary holder. built is written
 // inside the once and read only under the column mutation contract (exclusive
-// access), where it tells Append* whether an encoding exists to invalidate.
+// access), where it tells Append* whether an encoding exists to extend.
 type dictLazy struct {
 	once  sync.Once
 	built bool
@@ -101,15 +111,6 @@ func (c *Column) Dict() *DictEncoding {
 		d.enc = c.buildDictEncoding(MaxDictCardinality)
 	})
 	return d.enc
-}
-
-// invalidateDict swaps in a fresh holder when a mutation would stale an
-// existing (or in-progress) encoding. Creating the holder here also covers
-// string columns grown from a zero-value Column.
-func (c *Column) invalidateDict() {
-	if c.kind == KindString && (c.dict == nil || c.dict.built) {
-		c.dict = &dictLazy{}
-	}
 }
 
 // buildDictEncoding scans the column once for its distinct domain and once
@@ -164,6 +165,142 @@ func (c *Column) buildDictEncoding(maxCard int) *DictEncoding {
 		}
 	}
 	return d
+}
+
+// appendCode appends one row to the encoding: its code (pass 0 for NULL)
+// and validity, growing the validity bitmap and keeping the narrow code
+// mirrors in step — including rebuilding them when an extended domain
+// crosses a width boundary.
+func (d *DictEncoding) appendCode(code uint32, valid bool) {
+	i := len(d.codes)
+	d.codes = append(d.codes, code)
+	if i&63 == 0 {
+		d.validBits = append(d.validBits, 0)
+	}
+	if valid {
+		d.validBits[i>>6] |= 1 << uint(i&63)
+	} else {
+		d.nulls++
+	}
+	card := len(d.values)
+	switch {
+	case d.codes8 != nil && card <= 1<<8:
+		d.codes8 = append(d.codes8, uint8(code))
+	case d.codes16 != nil && card <= 1<<16:
+		d.codes16 = append(d.codes16, uint16(code))
+	default:
+		d.rebuildMirrors()
+	}
+}
+
+// rebuildMirrors re-derives the narrow code mirrors from the full-width
+// codes after a cardinality crossing.
+func (d *DictEncoding) rebuildMirrors() {
+	n := len(d.codes)
+	d.codes8, d.codes16 = nil, nil
+	switch {
+	case len(d.values) <= 1<<8:
+		d.codes8 = make([]uint8, n)
+		for i, c := range d.codes {
+			d.codes8[i] = uint8(c)
+		}
+	case len(d.values) <= 1<<16:
+		d.codes16 = make([]uint16, n)
+		for i, c := range d.codes {
+			d.codes16[i] = uint16(c)
+		}
+	}
+}
+
+// extendDictStr absorbs one appended value into a built encoding in place
+// when existing codes stay stable (value in-domain, or sorting after the
+// current maximum with room under the cap); otherwise it swaps in a fresh
+// holder (mid-domain value) or nils the encoding (cap crossed). Called by
+// AppendStr before the value lands in strs.
+func (c *Column) extendDictStr(v string) {
+	d := c.dict
+	if d == nil {
+		c.dict = &dictLazy{} // zero-value column grown by appends
+		return
+	}
+	if !d.built || d.enc == nil {
+		return // unbuilt: the lazy build covers the new row; nil: stays nil
+	}
+	enc := d.enc
+	code, ok := enc.CodeOf(v)
+	if !ok {
+		if n := len(enc.values); n > 0 && v < enc.values[n-1] {
+			c.dict = &dictLazy{} // mid-domain value shifts codes: full re-encode
+			return
+		}
+		if len(enc.values) >= MaxDictCardinality {
+			d.enc = nil // from-scratch over the grown column is unencodable too
+			return
+		}
+		code = uint32(len(enc.values))
+		enc.values = append(enc.values, v)
+	}
+	enc.appendCode(code, true)
+}
+
+// extendDictNull is extendDictStr for an appended NULL, which never shifts
+// codes.
+func (c *Column) extendDictNull() {
+	d := c.dict
+	if d == nil {
+		c.dict = &dictLazy{}
+		return
+	}
+	if !d.built || d.enc == nil {
+		return
+	}
+	d.enc.appendCode(0, false)
+}
+
+// extendDictBulk is the batch form of extendDictStr used by appendFrom: one
+// pass classifies the delta (all values in-domain or strictly above the
+// current maximum → extend in place; cap crossed → nil; mid-domain value →
+// fresh holder), a second appends the per-row codes.
+func (c *Column) extendDictBulk(vals []string, valid []bool) {
+	d := c.dict
+	if d == nil {
+		c.dict = &dictLazy{}
+		return
+	}
+	if !d.built || d.enc == nil {
+		return
+	}
+	enc := d.enc
+	var fresh []string
+	for i, s := range vals {
+		if !valid[i] {
+			continue
+		}
+		if _, ok := enc.CodeOf(s); !ok {
+			fresh = append(fresh, s)
+		}
+	}
+	if len(fresh) > 0 {
+		slices.Sort(fresh)
+		fresh = slices.Compact(fresh)
+		if len(enc.values)+len(fresh) > MaxDictCardinality {
+			d.enc = nil
+			return
+		}
+		if n := len(enc.values); n > 0 && fresh[0] < enc.values[n-1] {
+			c.dict = &dictLazy{}
+			return
+		}
+		enc.values = append(enc.values, fresh...)
+	}
+	for i, s := range vals {
+		if !valid[i] {
+			enc.appendCode(0, false)
+			continue
+		}
+		code, _ := enc.CodeOf(s)
+		enc.appendCode(code, true)
+	}
 }
 
 // EncodeDicts eagerly builds the dictionary of every string column ("eagerly

@@ -3,6 +3,7 @@ package dataframe
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 )
 
@@ -100,27 +101,39 @@ func TestDictEncodingEdges(t *testing.T) {
 	}
 }
 
-// TestDictInvalidationOnAppend checks the mutation contract: Append* after a
-// build yields a fresh encoding covering the new rows.
-func TestDictInvalidationOnAppend(t *testing.T) {
+// TestDictExtendOnAppend checks the append contract (PR 9): appends that
+// keep existing codes stable — values already in the domain, values sorting
+// after the current maximum, NULLs — extend the built encoding in place
+// (same pointer), while a mid-domain value swaps in a fresh holder for a
+// full re-encode.
+func TestDictExtendOnAppend(t *testing.T) {
 	c := NewStringColumn("s", []string{"a", "b"}, nil)
 	first := c.Dict()
 	if first == nil || first.Cardinality() != 2 {
 		t.Fatal("seed encoding missing")
 	}
-	c.AppendStr("c")
+	c.AppendStr("c") // sorts after the max: joins the domain end
 	c.AppendNull()
+	c.AppendStr("a") // in-domain: reuses its code
 	second := c.Dict()
-	if second == first {
-		t.Fatal("append did not invalidate the encoding")
+	if second != first {
+		t.Fatal("stable appends must extend the encoding in place")
 	}
-	if second.NumRows() != 4 || second.Cardinality() != 3 || second.NullCount() != 1 {
-		t.Errorf("rebuilt encoding = %d rows / %d card / %d nulls, want 4/3/1",
+	if second.NumRows() != 5 || second.Cardinality() != 3 || second.NullCount() != 1 {
+		t.Errorf("extended encoding = %d rows / %d card / %d nulls, want 5/3/1",
 			second.NumRows(), second.Cardinality(), second.NullCount())
 	}
-	// The stale first encoding is untouched (immutable once built).
-	if first.NumRows() != 2 {
-		t.Error("stale encoding mutated")
+	if want := []uint8{0, 1, 2, 0, 0}; !slices.Equal(second.Codes8(), want) {
+		t.Errorf("extended codes = %v, want %v", second.Codes8(), want)
+	}
+	c.AppendStr("ab") // mid-domain: would shift codes of "b" and "c"
+	third := c.Dict()
+	if third == first {
+		t.Fatal("mid-domain append must trigger a full re-encode")
+	}
+	if third.NumRows() != 6 || third.Cardinality() != 4 || third.NullCount() != 1 {
+		t.Errorf("rebuilt encoding = %d rows / %d card / %d nulls, want 6/4/1",
+			third.NumRows(), third.Cardinality(), third.NullCount())
 	}
 }
 

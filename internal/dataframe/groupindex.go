@@ -13,6 +13,7 @@ type GroupIndex struct {
 	repr    []int    // first row of each group
 	sizes   []int    // rows per group
 	keyStrs []string // composite key string per group, first-seen order
+	extIDs  map[string]int
 }
 
 // BuildGroupIndex scans the table once and assigns every row its group id
@@ -248,6 +249,44 @@ func (g *GroupIndex) newGroup(i int, c *Column) int {
 	g.sizes = append(g.sizes, 0)
 	g.keyStrs = append(g.keyStrs, string(c.AppendKey(nil, i)))
 	return gid
+}
+
+// Extend advances the index over the rows appended to the source table since
+// the build (or the last Extend), assigning new composite keys fresh group
+// ids in first-seen order. Because every build path numbers groups in
+// first-seen order and materialises identical Key(gid) bytes, an extended
+// index is identical to one rebuilt from scratch over the grown table — for
+// any build path, including after a dictionary re-encode (extension keys on
+// composite values, not codes). The first Extend re-derives a key→gid map
+// from keyStrs (O(groups)); later calls pay O(delta). Must run under the
+// table's mutation contract (no concurrent scans).
+func (g *GroupIndex) Extend() {
+	n := g.src.nrows
+	old := len(g.rowGID)
+	if old >= n {
+		return
+	}
+	if g.extIDs == nil {
+		g.extIDs = make(map[string]int, len(g.keyStrs))
+		for gid, k := range g.keyStrs {
+			g.extIDs[k] = gid
+		}
+	}
+	buf := make([]byte, 0, 48)
+	for i := old; i < n; i++ {
+		buf = appendRowKey(buf[:0], i, g.keys)
+		gid, ok := g.extIDs[string(buf)]
+		if !ok {
+			gid = len(g.repr)
+			k := string(buf)
+			g.extIDs[k] = gid
+			g.repr = append(g.repr, i)
+			g.sizes = append(g.sizes, 0)
+			g.keyStrs = append(g.keyStrs, k)
+		}
+		g.rowGID = append(g.rowGID, gid)
+		g.sizes[gid]++
+	}
 }
 
 // NumGroups returns the number of distinct composite keys.

@@ -15,6 +15,12 @@ type Table struct {
 	nrows int
 	fp    atomic.Uint64 // lazily assigned identity fingerprint; 0 = unassigned
 
+	// Epoch state (AppendRows): epoch counts completed append batches and
+	// epochRows[e] is the row count as of epoch e (nil until the first
+	// append, meaning epoch 0 with the current row count).
+	epoch     atomic.Uint64
+	epochRows []int
+
 	// Shard provenance (set by Shard, nil otherwise): the parent table this
 	// table's rows were taken from, and the parent row index behind each row.
 	parent     *Table
@@ -112,6 +118,111 @@ func (t *Table) Fingerprint() uint64 {
 		return next
 	}
 	return t.fp.Load()
+}
+
+// Epoch returns the table's append epoch: 0 at construction, +1 per
+// AppendRows batch. Fingerprint stays the cache identity of the table;
+// Epoch versions its grow-only content, so a cache entry keyed on the
+// fingerprint can tell how many rows it has already absorbed via
+// RowsAtEpoch and advance over just the delta. Safe for concurrent use.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// RowsAtEpoch returns the table's row count as of epoch e. It panics when e
+// exceeds the current epoch.
+func (t *Table) RowsAtEpoch(e uint64) int {
+	if t.epochRows == nil {
+		if e != 0 {
+			panic(fmt.Sprintf("dataframe: epoch %d beyond table epoch 0", e))
+		}
+		return t.nrows
+	}
+	return t.epochRows[e]
+}
+
+// AppendRows appends every row of batch to the table and bumps the epoch.
+// The batch must carry exactly the table's columns by name and kind (any
+// order); extra or missing columns fail without mutating the table. Existing
+// rows keep their positions and values — columns grow by a stable prefix —
+// so caches built at an earlier epoch remain valid over rows
+// [0, RowsAtEpoch(thatEpoch)) and only need to scan the appended suffix.
+//
+// Appends are mutations: the caller must hold exclusive access to the table
+// (no scans in flight), the same contract as the per-value Append* methods.
+// Query-layer consumers go through their scheduler's epoch fence instead of
+// calling this directly. Tables with shard provenance reject AppendRows
+// (use AppendShardRows so parent row indices stay recorded), and tables
+// sharing columns with a larger table (SelectColumns views) must not be
+// appended through.
+func (t *Table) AppendRows(batch *Table) error {
+	if t.parent != nil {
+		return fmt.Errorf("dataframe: AppendRows on a shard table; use AppendShardRows")
+	}
+	src := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		bc := batch.Column(c.name)
+		if bc == nil {
+			return fmt.Errorf("dataframe: append batch is missing column %q", c.name)
+		}
+		if bc.kind != c.kind {
+			return fmt.Errorf("dataframe: append batch column %q is %s, table has %s", c.name, bc.kind, c.kind)
+		}
+		src[i] = bc
+	}
+	if batch.NumCols() != len(t.cols) {
+		return fmt.Errorf("dataframe: append batch has %d columns, table has %d", batch.NumCols(), len(t.cols))
+	}
+	if batch.NumRows() == 0 {
+		return nil
+	}
+	for i, c := range t.cols {
+		c.appendFrom(src[i])
+	}
+	t.recordEpoch(batch.NumRows())
+	return nil
+}
+
+// AppendShardRows is AppendRows for tables with shard provenance: it appends
+// the batch rows and records their parent row indices, keeping ShardOf
+// consistent. The caller is responsible for having appended (or arranging to
+// append) the same rows to the parent; the query layer's AppendSharded does
+// both under one fence.
+func (t *Table) AppendShardRows(batch *Table, parentRows []int) error {
+	if t.parent == nil {
+		return fmt.Errorf("dataframe: AppendShardRows on a table without shard provenance")
+	}
+	if batch.NumRows() != len(parentRows) {
+		return fmt.Errorf("dataframe: %d batch rows but %d parent rows", batch.NumRows(), len(parentRows))
+	}
+	src := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		bc := batch.Column(c.name)
+		if bc == nil {
+			return fmt.Errorf("dataframe: append batch is missing column %q", c.name)
+		}
+		if bc.kind != c.kind {
+			return fmt.Errorf("dataframe: append batch column %q is %s, table has %s", c.name, bc.kind, c.kind)
+		}
+		src[i] = bc
+	}
+	if batch.NumRows() == 0 {
+		return nil
+	}
+	for i, c := range t.cols {
+		c.appendFrom(src[i])
+	}
+	t.parentRows = append(t.parentRows, parentRows...)
+	t.recordEpoch(batch.NumRows())
+	return nil
+}
+
+// recordEpoch advances the epoch ledger after rows appended rows landed.
+func (t *Table) recordEpoch(rows int) {
+	if t.epochRows == nil {
+		t.epochRows = append(t.epochRows, t.nrows)
+	}
+	t.nrows += rows
+	t.epochRows = append(t.epochRows, t.nrows)
+	t.epoch.Add(1)
 }
 
 // AddFloatColumnsFlat appends len(names) float columns backed by one flat

@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/dataframe"
+)
+
+// TestClickstreamStream checks the streaming scenario's contract: the base
+// snapshot and every batch are deterministic given (seed, index), batches
+// carry the relevant table's exact schema (Concat accepts them), timestamps
+// only move forward, and batches mix snapshot users with new ones.
+func TestClickstreamStream(t *testing.T) {
+	cs := NewClickstream(Options{TrainRows: 200, Seed: 9})
+	cs2 := NewClickstream(Options{TrainRows: 200, Seed: 9})
+	if cs.Relevant.NumRows() != cs2.Relevant.NumRows() {
+		t.Fatal("same seed should give same log count")
+	}
+	b0, b0again := cs.Batch(0, 50), cs2.Batch(0, 50)
+	for i := 0; i < 50; i++ {
+		if b0.Column("ts").Int(i) != b0again.Column("ts").Int(i) ||
+			b0.Column("user_id").Int(i) != b0again.Column("user_id").Int(i) {
+			t.Fatal("batch 0 not deterministic across scenario rebuilds")
+		}
+	}
+	b1 := cs.Batch(1, 400)
+	grown, err := dataframe.Concat(cs.Relevant, b0, b1)
+	if err != nil {
+		t.Fatalf("batches do not match the relevant schema: %v", err)
+	}
+	if grown.NumRows() != cs.Relevant.NumRows()+450 {
+		t.Fatalf("grown rows = %d", grown.NumRows())
+	}
+	// Stream time moves strictly forward: snapshot < batch 0 < batch 1.
+	maxTS := func(tb *dataframe.Table) int64 {
+		c := tb.Column("ts")
+		var m int64
+		for i := 0; i < tb.NumRows(); i++ {
+			if v := c.Int(i); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	minTS := func(tb *dataframe.Table) int64 {
+		c := tb.Column("ts")
+		m := c.Int(0)
+		for i := 1; i < tb.NumRows(); i++ {
+			if v := c.Int(i); v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxTS(cs.Relevant) >= minTS(b0) || maxTS(b0) >= minTS(b1) {
+		t.Error("batch timestamps overlap earlier data")
+	}
+	seenOld, seenNew := false, false
+	uc := b1.Column("user_id")
+	for i := 0; i < b1.NumRows(); i++ {
+		if uc.Int(i) < 200 {
+			seenOld = true
+		} else {
+			seenNew = true
+		}
+	}
+	if !seenOld || !seenNew {
+		t.Errorf("batch users old=%v new=%v, want both", seenOld, seenNew)
+	}
+	if cs.Keys[0] != "user_id" || cs.Train.NumRows() != 200 {
+		t.Error("base dataset shape wrong")
+	}
+}

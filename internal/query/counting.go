@@ -34,7 +34,8 @@ const maxCountingAbs = int64(1) << 31
 const maxExactIntAbs = int64(1) << 53
 
 // domainEntry is the cached cardinality probe of one aggregation attribute.
-// All fields are read-only after the once completes.
+// All fields are read-only after the once completes, except under the core's
+// epoch fence, where advance absorbs appended rows (see delta.go).
 type domainEntry struct {
 	once  sync.Once
 	ok    bool     // eligible for the counting path
@@ -47,7 +48,9 @@ type domainEntry struct {
 	// marks every value within maxExactIntAbs, so integer compares against
 	// exact bounds reproduce the float-view semantics bit for bit.
 	intOK    bool
-	mn, mx   int64    // observed non-null min/max (valid when intOK)
+	seen     bool     // int/time: some non-null value observed (mn/mx defined)
+	nrows    int      // rows the probe state covers (for delta advances)
+	mn, mx   int64    // observed non-null min/max (valid when seen)
 	ivals    []int64  // backing ints (shared with the column)
 	vbits    []uint64 // validity bitmap, LSB-first per word
 	ncodes8  []uint8  // value-base codes when ok and the width fits uint8
@@ -89,6 +92,7 @@ func (e *Executor) domain(col *dataframe.Column) *domainEntry {
 // probe scans the column once and decides counting-path eligibility.
 func (ent *domainEntry) probe(col *dataframe.Column) {
 	valid := col.ValidData()
+	ent.nrows = col.Len()
 	switch col.Kind() {
 	case dataframe.KindBool:
 		// The float view is exactly {0, 1}; no per-row codes needed.
@@ -115,10 +119,11 @@ func (ent *domainEntry) probe(col *dataframe.Column) {
 		if !seen {
 			return
 		}
+		ent.seen, ent.mn, ent.mx = true, mn, mx
 		if mn >= -maxExactIntAbs && mx <= maxExactIntAbs {
 			// The integer range kernels can serve this column: record the
 			// bounds, backing ints and a validity bitmap (see dict.go).
-			ent.intOK, ent.mn, ent.mx, ent.ivals = true, mn, mx, vals
+			ent.intOK, ent.ivals = true, vals
 			ent.vbits = make([]uint64, (len(vals)+63)/64)
 			for i, ok := range valid {
 				if ok {
@@ -161,6 +166,129 @@ func (ent *domainEntry) probe(col *dataframe.Column) {
 		ent.ok, ent.k = true, enc.Cardinality()
 		ent.svals, ent.codes = enc.Values(), enc.Codes()
 	}
+}
+
+// reset returns the entry to its pre-probe zero state (the once is kept — it
+// has already fired and stays fired).
+func (ent *domainEntry) reset() {
+	ent.ok, ent.k, ent.base = false, 0, 0
+	ent.svals, ent.codes = nil, nil
+	ent.intOK, ent.seen, ent.nrows = false, false, 0
+	ent.mn, ent.mx = 0, 0
+	ent.ivals, ent.vbits = nil, nil
+	ent.ncodes8, ent.ncodes16 = nil, nil
+}
+
+// advance absorbs rows appended to col since the probe (or the last advance),
+// re-deriving exactly the state a from-scratch probe of the grown column
+// would produce. Eligibility can only be LOST by an append (a wider domain, a
+// value past a cap), never gained back, except through the !seen path where
+// the probe had observed no non-null value at all and simply re-runs. Must
+// run under the core's epoch fence.
+func (ent *domainEntry) advance(col *dataframe.Column) {
+	n := col.Len()
+	if ent.nrows >= n {
+		return
+	}
+	valid := col.ValidData()
+	switch col.Kind() {
+	case dataframe.KindBool:
+		// Eligibility is static; nothing per-row is cached.
+	case dataframe.KindInt, dataframe.KindTime:
+		if !ent.seen {
+			// No non-null value had been observed: the delta decides the whole
+			// probe, identically to probing the grown column from scratch.
+			ent.reset()
+			ent.probe(col)
+			return
+		}
+		vals := col.IntData()
+		mn, mx := ent.mn, ent.mx
+		for i := ent.nrows; i < n; i++ {
+			if !valid[i] {
+				continue
+			}
+			if v := vals[i]; v < mn {
+				mn = v
+			} else if v > mx {
+				mx = v
+			}
+		}
+		ent.mn, ent.mx = mn, mx
+		if ent.intOK {
+			if mn < -maxExactIntAbs || mx > maxExactIntAbs {
+				ent.intOK, ent.ivals, ent.vbits = false, nil, nil
+			} else {
+				ent.ivals = vals // appends may have reallocated the backing slice
+				for len(ent.vbits) < (n+63)/64 {
+					ent.vbits = append(ent.vbits, 0)
+				}
+				for i := ent.nrows; i < n; i++ {
+					if valid[i] {
+						ent.vbits[i>>6] |= 1 << uint(i&63)
+					}
+				}
+			}
+		}
+		if ent.ok {
+			width := mx - mn + 1
+			switch {
+			case mn < -maxCountingAbs || mx > maxCountingAbs || width > maxCountingDomain:
+				ent.ok, ent.k, ent.base = false, 0, 0
+				ent.ncodes8, ent.ncodes16 = nil, nil
+			case ent.ncodes8 != nil && mn == ent.base && width <= 1<<8:
+				ent.k = int(width)
+				for i := ent.nrows; i < n; i++ {
+					var c uint8
+					if valid[i] {
+						c = uint8(vals[i] - mn)
+					}
+					ent.ncodes8 = append(ent.ncodes8, c)
+				}
+			case ent.ncodes16 != nil && mn == ent.base:
+				ent.k = int(width)
+				for i := ent.nrows; i < n; i++ {
+					var c uint16
+					if valid[i] {
+						c = uint16(vals[i] - mn)
+					}
+					ent.ncodes16 = append(ent.ncodes16, c)
+				}
+			default:
+				// Base shifted down or the width crossed the uint8 boundary:
+				// re-derive the code array over all rows, as a fresh probe would.
+				ent.base, ent.k = mn, int(width)
+				ent.ncodes8, ent.ncodes16 = nil, nil
+				if width <= 1<<8 {
+					ent.ncodes8 = make([]uint8, n)
+					for i, v := range vals {
+						if valid[i] {
+							ent.ncodes8[i] = uint8(v - mn)
+						}
+					}
+				} else {
+					ent.ncodes16 = make([]uint16, n)
+					for i, v := range vals {
+						if valid[i] {
+							ent.ncodes16[i] = uint16(v - mn)
+						}
+					}
+				}
+			}
+		}
+	case dataframe.KindString:
+		// The dictionary IS the probe: re-point at the (possibly re-encoded or
+		// dropped) current encoding, exactly as a fresh probe would read it.
+		enc := col.Dict()
+		if enc == nil || enc.Cardinality() == 0 {
+			ent.ok, ent.k = false, 0
+			ent.svals, ent.codes = nil, nil
+		} else {
+			ent.ok, ent.k = true, enc.Cardinality()
+			ent.svals, ent.codes = enc.Values(), enc.Codes()
+		}
+	}
+	ent.nrows = n
 }
 
 // countScratch returns the attrScan's zeroed count array (lazily sized to the

@@ -139,13 +139,22 @@ func rangeInt64Bits(vals []int64, vbits []uint64, lo, hi int64, bm []uint64) {
 // dictEqBits dispatches the equality kernel to the narrowest code mirror the
 // encoding carries.
 func dictEqBits(enc *dataframe.DictEncoding, code uint32, bm []uint64) {
-	vbits := enc.ValidBits()
+	dictEqBitsFrom(enc, code, bm, 0)
+}
+
+// dictEqBitsFrom is dictEqBits restricted to rows [lo, n): the kernels run
+// over the word-aligned subslices starting at lo (a multiple of 64, or 0), so
+// a delta advance pays only for the appended words.
+func dictEqBitsFrom(enc *dataframe.DictEncoding, code uint32, bm []uint64, lo int) {
+	w0 := lo >> 6
+	vbits := enc.ValidBits()[w0:]
+	sub := bm[w0:]
 	if c8 := enc.Codes8(); c8 != nil {
-		eqCodeBits(c8, vbits, uint8(code), bm)
+		eqCodeBits(c8[lo:], vbits, uint8(code), sub)
 	} else if c16 := enc.Codes16(); c16 != nil {
-		eqCodeBits(c16, vbits, uint16(code), bm)
+		eqCodeBits(c16[lo:], vbits, uint16(code), sub)
 	} else {
-		eqCodeBits(enc.Codes(), vbits, code, bm)
+		eqCodeBits(enc.Codes()[lo:], vbits, code, sub)
 	}
 }
 
@@ -188,6 +197,15 @@ func intRangeBounds(p Predicate) (lo, hi int64, empty bool) {
 // kernel the probe admits — uint8/uint16 codes when the column's width fits
 // the counting domain, raw int64 compares otherwise.
 func intRangeBits(dom *domainEntry, p Predicate, bm []uint64) {
+	intRangeBitsFrom(dom, p, bm, 0)
+}
+
+// intRangeBitsFrom is intRangeBits restricted to rows [row0, n), row0
+// word-aligned: the delta-advance form. The domain clamp uses the CURRENT
+// observed bounds; a grown domain only widens the clamp, and the underlying
+// integer interval is unchanged, so recomputed boundary-word rows keep their
+// bits.
+func intRangeBitsFrom(dom *domainEntry, p Predicate, bm []uint64, row0 int) {
 	lo, hi, empty := intRangeBounds(p)
 	if empty {
 		return
@@ -203,12 +221,15 @@ func intRangeBits(dom *domainEntry, p Predicate, bm []uint64) {
 	if lo > hi {
 		return
 	}
+	w0 := row0 >> 6
+	vbits := dom.vbits[w0:]
+	sub := bm[w0:]
 	switch {
 	case dom.ncodes8 != nil:
-		rangeCodeBits(dom.ncodes8, dom.vbits, uint8(lo-dom.base), uint8(hi-dom.base), bm)
+		rangeCodeBits(dom.ncodes8[row0:], vbits, uint8(lo-dom.base), uint8(hi-dom.base), sub)
 	case dom.ncodes16 != nil:
-		rangeCodeBits(dom.ncodes16, dom.vbits, uint16(lo-dom.base), uint16(hi-dom.base), bm)
+		rangeCodeBits(dom.ncodes16[row0:], vbits, uint16(lo-dom.base), uint16(hi-dom.base), sub)
 	default:
-		rangeInt64Bits(dom.ivals, dom.vbits, lo, hi, bm)
+		rangeInt64Bits(dom.ivals[row0:], vbits, lo, hi, sub)
 	}
 }

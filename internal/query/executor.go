@@ -79,6 +79,20 @@ type Executor struct {
 	// differential tests sweep this knob); the counting-sort path keeps its
 	// own knob and is unaffected.
 	DisableDictEncoding bool
+	// DisableDeltaMaintenance forces a full cache rebuild whenever the scan
+	// table's epoch advances (see delta.go): every shared-core entry and
+	// every private plan/join entry is dropped instead of advanced over the
+	// delta rows, and no aggregate state is retained across batches. Results
+	// are bit-identical either way — the differential tests and the
+	// append-then-query benchmarks sweep it. Note the wipe hits the SHARED
+	// core, so flipping it on one executor degrades (never corrupts) its
+	// core-sharing siblings; it is a test/bench knob, not a production mode.
+	DisableDeltaMaintenance bool
+
+	// epoch is the scan-table epoch this executor's PRIVATE caches (plans,
+	// joins, aggregate state) cover; the shared core tracks its own. Guarded
+	// by core.fence.
+	epoch uint64
 
 	joinCache *JoinCache // train-side index sharing; ProcessJoinCache by default
 
@@ -133,6 +147,16 @@ type ExecutorStats struct {
 	// (discovery, attribute and scatter passes all run morsel by morsel).
 	MorselsScanned int64
 	Evictions      int64 // whole-cache drops across bounded caches
+	// Delta maintenance (see delta.go): DeltaAppends counts append epochs
+	// this executor absorbed, DeltaRowsScanned the appended rows its advance
+	// scans visited (summed across the entries each advance touched),
+	// DirtyGroupResorts the per-group sorted runs re-sorted because a delta
+	// landed in the group, and FullRebuilds the advances that dropped caches
+	// wholesale instead (DisableDeltaMaintenance, or a dictionary re-encode
+	// shifting codes).
+	DeltaAppends, DeltaRowsScanned int64
+	DirtyGroupResorts              int64
+	FullRebuilds                   int64
 }
 
 // Add returns the field-wise sum of two snapshots. Multi-table transformers
@@ -164,13 +188,17 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 	s.SharedScanSubscribers += o.SharedScanSubscribers
 	s.MorselsScanned += o.MorselsScanned
 	s.Evictions += o.Evictions
+	s.DeltaAppends += o.DeltaAppends
+	s.DeltaRowsScanned += o.DeltaRowsScanned
+	s.DirtyGroupResorts += o.DirtyGroupResorts
+	s.FullRebuilds += o.FullRebuilds
 	return s
 }
 
 // String renders the snapshot as one compact log line.
 func (s ExecutorStats) String() string {
 	return fmt.Sprintf(
-		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, dict %d encodes / %d hits (%d code preds), shared-scans %d passes / %d subscribed, %d morsels, %d evictions",
+		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, dict %d encodes / %d hits (%d code preds), shared-scans %d passes / %d subscribed, %d morsels, delta %d appends / %d rows (%d resorts, %d rebuilds), %d evictions",
 		s.GroupHits, s.GroupMisses, s.MaskHits, s.MaskMisses, s.PredHits, s.PredMisses,
 		s.PlanHits, s.PlanMisses, s.JoinHits, s.JoinMisses,
 		s.SharedJoinHits, s.SharedJoinMisses,
@@ -178,6 +206,7 @@ func (s ExecutorStats) String() string {
 		s.ScatterQueries, s.ScatterPasses,
 		s.DictEncodes, s.DictHits, s.CodePredScans,
 		s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned,
+		s.DeltaAppends, s.DeltaRowsScanned, s.DirtyGroupResorts, s.FullRebuilds,
 		s.Evictions+s.SharedJoinEvictions)
 }
 
@@ -207,22 +236,31 @@ type groupEntry struct {
 	err   error
 }
 
-// predEntry caches the full-table row bitmap of one predicate.
+// predEntry caches the full-table row bitmap of one predicate. p and nrows
+// (the predicate it evaluates and the rows the bitmap covers) make the entry
+// self-describing for delta advances: an append recomputes only the bitmap
+// words at or after row nrows (see delta.go). nrows is written under the
+// core's epoch fence after the once completes.
 type predEntry struct {
 	once  sync.Once
 	owner *Executor
+	p     Predicate
 	bits  []uint64 // 1 bit per row, LSB-first within each word
+	nrows int      // rows covered by bits
 	err   error
 }
 
 // maskEntry caches one canonical WHERE clause: the intersected bitmap plus
 // the materialised matching-row indices in ascending order, so a cached mask
-// costs neither the intersection nor the bitmap walk again.
+// costs neither the intersection nor the bitmap walk again. preds holds the
+// decomposed predicate list and nrows the coverage, for delta advances.
 type maskEntry struct {
 	once  sync.Once
 	owner *Executor
+	preds []Predicate // decomposed one-sided form
 	bits  []uint64
 	rows  []int
+	nrows int
 	err   error
 }
 
@@ -237,16 +275,25 @@ type planKey struct {
 // groups are non-empty under the mask, in first-seen row order, and how many
 // matching rows each has. Every query of the plan group — across batches —
 // shares it, so only the first query ever pays the discovery scan. All fields
-// are read-only after the once completes.
+// are read-only after the once completes, except under the core's epoch fence
+// where delta advances extend them in place (keys/me/nrows describe what to
+// advance; see delta.go), and aggs, the per-attribute aggregate state retained
+// across batches, which is guarded by amu at query time.
 type planEntry struct {
 	once   sync.Once
 	gi     *dataframe.GroupIndex
-	rows   []int    // matching rows in scan order; identity list when mask-free
-	segs   [][2]int // morsel segments of rows (index ranges; see morselSegments)
-	local  []int    // gid -> local index + 1; 0 = group empty under the mask
-	repr   []int    // local -> representative (first matching) row
-	counts []int    // local -> total matching rows
+	keys   []string   // GROUP BY key-set (for re-deriving gi after drops)
+	me     *maskEntry // WHERE mask the rows came from; nil = all rows
+	rows   []int      // matching rows in scan order; identity list when mask-free
+	segs   [][2]int   // morsel segments of rows (index ranges; see morselSegments)
+	local  []int      // gid -> local index + 1; 0 = group empty under the mask
+	repr   []int      // local -> representative (first matching) row
+	counts []int      // local -> total matching rows
+	nrows  int        // scan-table rows the discovery covers
 	err    error
+
+	amu  sync.Mutex
+	aggs map[string]*attrState // per aggregation attribute (see delta.go)
 }
 
 // ExecutorOption configures NewExecutor.
@@ -296,6 +343,9 @@ func NewExecutor(r *dataframe.Table, opts ...ExecutorOption) *Executor {
 	} else {
 		e.core = newTableCore(scan, e.optMorselRows)
 	}
+	// A fresh executor's (empty) private caches vacuously cover the current
+	// epoch; the first scan advances the shared core if it is behind.
+	e.epoch = scan.Epoch()
 	return e
 }
 
@@ -464,7 +514,9 @@ func (e *Executor) predMask(p Predicate) ([]uint64, error) {
 	c.mu.Unlock()
 	e.noteShared(hit, evicted, ent.owner, &e.stats.PredHits, &e.stats.PredMisses, true)
 	ent.once.Do(func() {
+		ent.p = p
 		ent.bits, ent.err = e.buildPredBits(p)
+		ent.nrows = e.core.t.NumRows()
 	})
 	return ent.bits, ent.err
 }
@@ -525,12 +577,25 @@ func (e *Executor) floatView(col *dataframe.Column) []float64 {
 // at a time (see dict.go). The fallbacks below remain the reference
 // semantics the differential tests sweep against.
 func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
-	col := e.core.t.Column(p.Attr)
-	if col == nil {
-		return nil, fmt.Errorf("query: predicate on missing column %q", p.Attr)
-	}
 	n := e.core.t.NumRows()
 	bm := make([]uint64, (n+63)/64)
+	if err := e.buildPredBitsFrom(p, 0, bm); err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
+
+// buildPredBitsFrom evaluates p into bm for rows [lo, n), where lo is
+// word-aligned (a multiple of 64, or 0); words below lo/64 are left untouched
+// and words at or above it are fully (re)written. Delta advances call it with
+// the last partially-filled word's start so only appended rows are scanned
+// (see delta.go); buildPredBits calls it with lo 0.
+func (e *Executor) buildPredBitsFrom(p Predicate, lo int, bm []uint64) error {
+	col := e.core.t.Column(p.Attr)
+	if col == nil {
+		return fmt.Errorf("query: predicate on missing column %q", p.Attr)
+	}
+	n := e.core.t.NumRows()
 	set := func(i int) { bm[i>>6] |= 1 << uint(i&63) }
 	valid := col.ValidData()
 	switch p.Kind {
@@ -541,38 +606,38 @@ func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
 				if enc := e.dictFor(col); enc != nil {
 					e.noteCodePred()
 					if code, ok := enc.CodeOf(p.StrValue); ok {
-						dictEqBits(enc, code, bm)
+						dictEqBitsFrom(enc, code, bm, lo)
 					}
 					// Operand not in the dictionary: no row matches.
-					return bm, nil
+					return nil
 				}
 			}
 			strs := col.StrData()
-			for i := 0; i < n; i++ {
+			for i := lo; i < n; i++ {
 				if valid[i] && strs[i] == p.StrValue {
 					set(i)
 				}
 			}
 		case dataframe.KindBool:
 			bools := col.BoolData()
-			for i := 0; i < n; i++ {
+			for i := lo; i < n; i++ {
 				if valid[i] && bools[i] == p.BoolValue {
 					set(i)
 				}
 			}
 		default:
-			return nil, fmt.Errorf("query: equality predicate on %s column %q", col.Kind(), p.Attr)
+			return fmt.Errorf("query: equality predicate on %s column %q", col.Kind(), p.Attr)
 		}
 	case PredRange:
 		if !col.Kind().IsNumeric() {
-			return nil, fmt.Errorf("query: range predicate on %s column %q", col.Kind(), p.Attr)
+			return fmt.Errorf("query: range predicate on %s column %q", col.Kind(), p.Attr)
 		}
 		if k := col.Kind(); !e.DisableDictEncoding && (p.HasLo || p.HasHi) &&
 			(k == dataframe.KindInt || k == dataframe.KindTime) {
 			if dom := e.domain(col); dom.intOK {
 				e.noteCodePred()
-				intRangeBits(dom, p, bm)
-				return bm, nil
+				intRangeBitsFrom(dom, p, bm, lo)
+				return nil
 			}
 		}
 		vals := e.floatView(col)
@@ -582,34 +647,34 @@ func (e *Executor) buildPredBits(p Predicate) ([]uint64, error) {
 			// into their one-sided halves before the bitmap cache (so BETWEEN
 			// masks are never cached whole). Kept correct for any future
 			// caller that skips decomposition.
-			for i := 0; i < n; i++ {
+			for i := lo; i < n; i++ {
 				if valid[i] && vals[i] >= p.Lo && vals[i] <= p.Hi {
 					set(i)
 				}
 			}
 		case p.HasLo:
-			for i := 0; i < n; i++ {
+			for i := lo; i < n; i++ {
 				if valid[i] && vals[i] >= p.Lo {
 					set(i)
 				}
 			}
 		case p.HasHi:
-			for i := 0; i < n; i++ {
+			for i := lo; i < n; i++ {
 				if valid[i] && vals[i] <= p.Hi {
 					set(i)
 				}
 			}
 		default: // trivial range: matches every non-NULL row, like Eval
-			for i := 0; i < n; i++ {
+			for i := lo; i < n; i++ {
 				if valid[i] {
 					set(i)
 				}
 			}
 		}
 	default:
-		return nil, fmt.Errorf("query: unknown predicate kind %d", p.Kind)
+		return fmt.Errorf("query: unknown predicate kind %d", p.Kind)
 	}
-	return bm, nil
+	return nil
 }
 
 // decomposePreds rewrites a predicate list into its canonical one-sided form:
@@ -683,8 +748,9 @@ func (e *Executor) whereEntry(preds []Predicate) (string, *maskEntry, error) {
 	// Mask intersection is bitmap arithmetic, not a table pass (pass=false).
 	e.noteShared(hit, evicted, ent.owner, &e.stats.MaskHits, &e.stats.MaskMisses, false)
 	ent.once.Do(func() {
+		ent.preds = decomposePreds(preds)
 		var mask []uint64
-		for _, p := range decomposePreds(preds) {
+		for _, p := range ent.preds {
 			pm, err := e.predMask(p)
 			if err != nil {
 				ent.err = err
@@ -701,6 +767,7 @@ func (e *Executor) whereEntry(preds []Predicate) (string, *maskEntry, error) {
 		}
 		ent.bits = mask
 		ent.rows = matchedRows(mask)
+		ent.nrows = e.core.t.NumRows()
 	})
 	return sig, ent, ent.err
 }
@@ -770,6 +837,9 @@ func (e *Executor) plan(keys []string, preds []Predicate) (*planEntry, error) {
 	e.mu.Unlock()
 	ent.once.Do(func() {
 		ent.gi = gi
+		ent.keys = append([]string(nil), keys...)
+		ent.me = me
+		ent.nrows = e.core.t.NumRows()
 		switch {
 		case me != nil && e.sharded:
 			ent.rows = shardMaskRows(e.shardRows, me.bits)
@@ -853,6 +923,7 @@ type execResult struct {
 // same result table as Query.Execute — one row per non-empty group, in
 // first-seen order over the matching rows — but through the shared caches.
 func (e *Executor) Execute(q Query, featureName string) (*dataframe.Table, error) {
+	defer e.beginScan()()
 	er, err := e.executeCore(q)
 	if err != nil {
 		return nil, err
@@ -985,10 +1056,12 @@ func (e *Executor) executeCore(q Query) (execResult, error) {
 // over different relevant tables reuse each other's build; only the rToD
 // mapping is computed per executor.
 type joinEntry struct {
-	once sync.Once
-	idx  *dataframe.GroupIndex // over d's key columns, from the shared cache
-	rToD []int                 // relevant gid -> train gid, -1 = no match
-	err  error
+	once   sync.Once
+	keys   []string              // join key-set (for delta advances)
+	idx    *dataframe.GroupIndex // over d's key columns, from the shared cache
+	lookup map[string]int        // train key string -> train gid (retained for advances)
+	rToD   []int                 // relevant gid -> train gid, -1 = no match
+	err    error
 }
 
 type joinKey struct {
@@ -1019,15 +1092,20 @@ func (e *Executor) joinIndex(d *dataframe.Table, keys []string) (*joinEntry, err
 			return
 		}
 		ent.idx = idx
+		ent.keys = append([]string(nil), keys...)
 		rIdx, err := e.groupIndex(keys)
 		if err != nil {
 			ent.err = err
 			return
 		}
+		// The lookup is retained: when appends grow the relevant-side index,
+		// the delta advance maps only the NEW relevant groups through it (the
+		// training table itself is epoch-frozen from the executor's view).
 		lookup := make(map[string]int, ent.idx.NumGroups())
 		for dg := 0; dg < ent.idx.NumGroups(); dg++ {
 			lookup[ent.idx.Key(dg)] = dg
 		}
+		ent.lookup = lookup
 		ent.rToD = make([]int, rIdx.NumGroups())
 		for rg := 0; rg < rIdx.NumGroups(); rg++ {
 			if dg, ok := lookup[rIdx.Key(rg)]; ok {
@@ -1051,6 +1129,7 @@ func (e *Executor) AugmentValues(d *dataframe.Table, q Query) ([]float64, []bool
 			return nil, nil, fmt.Errorf("query: training table has no join key %q", k)
 		}
 	}
+	defer e.beginScan()()
 	er, err := e.executeCore(q)
 	if err != nil {
 		return nil, nil, err
@@ -1163,6 +1242,7 @@ func (e *Executor) ExecuteBatch(qs []Query, featureName string) ([]*dataframe.Ta
 // started when the context is cancelled are skipped and the context error is
 // returned, so a long batch aborts after at most the in-flight scans.
 func (e *Executor) ExecuteBatchContext(ctx context.Context, qs []Query, featureName string) ([]*dataframe.Table, error) {
+	defer e.beginScan()()
 	ers, err := e.executeBatchCore(ctx, qs, true)
 	if err != nil {
 		return nil, err
@@ -1232,6 +1312,7 @@ func (e *Executor) AugmentValuesBatchContext(ctx context.Context, d *dataframe.T
 	if err := validateJoinKeys(d, qs); err != nil {
 		return nil, nil, err
 	}
+	defer e.beginScan()()
 	if e.DisableFusion || e.DisableScatterFusion {
 		return e.scatterPerQuery(ctx, d, qs)
 	}
@@ -1289,6 +1370,7 @@ func (e *Executor) AugmentMatrixContext(ctx context.Context, d *dataframe.Table,
 	if err := validateJoinKeys(d, qs); err != nil {
 		return nil, err
 	}
+	defer e.beginScan()()
 	return e.augmentMatrixCore(ctx, d, qs)
 }
 

@@ -255,10 +255,26 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 	ngroups := len(pe.repr)
 	out := make(map[aggPair]pairResult, len(g.order))
 
-	// Organise the group's pairs by attribute and partition each attribute's
-	// functions into direct / streaming / buffered work.
+	// Snapshot the plan's retained aggregate state (delta.go): attributes whose
+	// every requested function the state covers are served without rescanning.
+	useState := !e.DisableDeltaMaintenance
+	var cached map[string]*attrState
+	if useState {
+		pe.amu.Lock()
+		if len(pe.aggs) > 0 {
+			cached = make(map[string]*attrState, len(pe.aggs))
+			for k, v := range pe.aggs {
+				cached[k] = v
+			}
+		}
+		pe.amu.Unlock()
+	}
+
+	// Organise the group's pairs by attribute; direct pairs (COUNT, undefined
+	// string aggregates) resolve immediately, the rest collect per attribute.
 	attrs := map[string]*attrScan{}
-	var scanList []*attrScan
+	var attrOrder []string
+	pending := map[string][]agg.Func{}
 	for _, pair := range g.order {
 		as, ok := attrs[pair.attr]
 		if !ok {
@@ -276,7 +292,7 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 				as.fvals = e.floatView(col)
 			}
 			attrs[pair.attr] = as
-			scanList = append(scanList, as)
+			attrOrder = append(attrOrder, pair.attr)
 		}
 		fn := pair.fn
 		switch {
@@ -292,29 +308,50 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 				vals[li], valid[li] = float64(n), true
 			}
 			out[pair] = pairResult{vals: vals, valid: valid}
-		case !as.useString && streamable(fn):
-			as.stream = append(as.stream, fn)
-			as.needVals = true
-			if needsMoments(fn) {
-				as.needMoments = true
-			}
-			if fn == agg.Kurtosis {
-				as.needM4 = true
-			}
 		default:
-			as.buffered = append(as.buffered, fn)
-			as.needBuf = true
+			pending[pair.attr] = append(pending[pair.attr], fn)
 		}
 	}
 
-	// Drop attributes whose every pair resolved directly (COUNT / all-NULL).
-	active := scanList[:0]
-	for _, as := range scanList {
-		if len(as.stream) > 0 || len(as.buffered) > 0 {
-			active = append(active, as)
+	// Decide per attribute: serve every pending function from the retained
+	// state, or classify into the scan shapes — unioning the old state's
+	// capabilities into the scan's so the replacement state never loses what
+	// its predecessor could serve.
+	served := map[string]*attrState{}
+	var scanList []*attrScan
+	for _, attr := range attrOrder {
+		fns := pending[attr]
+		if len(fns) == 0 {
+			continue
 		}
+		as := attrs[attr]
+		if st := cached[attr]; st != nil && st.servesAll(fns) {
+			served[attr] = st
+			continue
+		}
+		for _, fn := range fns {
+			if !as.useString && streamable(fn) {
+				as.stream = append(as.stream, fn)
+				as.needVals = true
+				if needsMoments(fn) {
+					as.needMoments = true
+				}
+				if fn == agg.Kurtosis {
+					as.needM4 = true
+				}
+			} else {
+				as.buffered = append(as.buffered, fn)
+				as.needBuf = true
+			}
+		}
+		if st := cached[attr]; st != nil && !as.useString {
+			as.needVals = as.needVals || st.hasVals
+			as.needMoments = as.needMoments || st.hasMoments
+			as.needM4 = as.needM4 || st.hasM4
+			as.needBuf = as.needBuf || st.hasBuf
+		}
+		scanList = append(scanList, as)
 	}
-	scanList = active
 
 	if len(scanList) > 0 && ngroups > 0 {
 		for _, as := range scanList {
@@ -332,13 +369,31 @@ func (e *Executor) runPlanGroup(ctx context.Context, g *fusedGroup) (map[aggPair
 		}
 	}
 
-	// Extract every remaining pair's result from the accumulators/buffers.
+	// Retain the scanned attributes' state for later batches and for delta
+	// advances; a rescan replaces the old (narrower) state wholesale.
+	if useState && len(scanList) > 0 {
+		pe.amu.Lock()
+		if pe.aggs == nil {
+			pe.aggs = make(map[string]*attrState, len(scanList))
+		}
+		for _, as := range scanList {
+			pe.aggs[as.col.Name()] = captureAttrState(as, ngroups)
+		}
+		pe.amu.Unlock()
+	}
+
+	// Extract every remaining pair's result from the retained state or the
+	// fresh accumulators/buffers — shared helpers either way, so served values
+	// are bit-identical to scanned ones.
 	for _, pair := range g.order {
 		if _, done := out[pair]; done {
 			continue
 		}
-		as := attrs[pair.attr]
-		out[pair] = extractPair(pair.fn, as, pe.counts, ngroups)
+		if st := served[pair.attr]; st != nil {
+			out[pair] = st.extract(pair.fn, pe.counts, ngroups)
+			continue
+		}
+		out[pair] = extractPair(pair.fn, attrs[pair.attr], pe.counts, ngroups)
 	}
 	return out, pe, nil
 }
@@ -604,63 +659,73 @@ func (as *attrScan) streamScan(ctx context.Context, e *Executor, pe *planEntry, 
 // agg.Func.Apply's formulas — including expression order, so floats match bit
 // for bit.
 func extractPair(fn agg.Func, as *attrScan, counts []int, ngroups int) pairResult {
-	vals := make([]float64, ngroups)
-	valid := make([]bool, ngroups)
 	if !as.useString && streamable(fn) {
-		for li := 0; li < ngroups; li++ {
-			nv := as.nvalid[li]
-			if nv == 0 {
-				continue // (0, false): aggregate of an all-NULL group
-			}
-			nvf := float64(nv)
-			switch fn {
-			case agg.Sum:
-				vals[li], valid[li] = as.sum[li], true
-			case agg.Min:
-				vals[li], valid[li] = as.min[li], true
-			case agg.Max:
-				vals[li], valid[li] = as.max[li], true
-			case agg.Avg:
-				vals[li], valid[li] = as.sum[li]/nvf, true
-			case agg.Var:
-				vals[li], valid[li] = as.ss[li]/nvf, true
-			case agg.VarSample:
-				if nv < 2 {
-					continue
-				}
-				vals[li], valid[li] = as.ss[li]/nvf*nvf/float64(nv-1), true
-			case agg.Std:
-				vals[li], valid[li] = math.Sqrt(as.ss[li]/nvf), true
-			case agg.StdSample:
-				if nv < 2 {
-					continue
-				}
-				vals[li], valid[li] = math.Sqrt(as.ss[li]/nvf*nvf/float64(nv-1)), true
-			case agg.Kurtosis:
-				if nv < 4 {
-					continue
-				}
-				m2 := as.ss[li] / nvf
-				if m2 == 0 {
-					continue
-				}
-				m4 := as.m4[li] / nvf
-				vals[li], valid[li] = m4/(m2*m2)-3, true
-			}
-		}
-		return pairResult{vals: vals, valid: valid}
+		return streamExtract(fn, as.nvalid, as.sum, as.min, as.max, as.ss, as.m4, ngroups)
 	}
 	// Buffered path: compute from the group's sorted value segment. Each
 	// extractor reproduces its agg.Func counterpart exactly — same empty-group
 	// conventions, same tie-breaks, same floating-point accumulation order
 	// (distinct values ascending, the order agg sorts its map keys into).
+	vals := make([]float64, ngroups)
+	valid := make([]bool, ngroups)
 	for li := 0; li < ngroups; li++ {
 		seg := as.offs[li]
 		end := as.fill[li]
 		if as.useString {
 			vals[li], valid[li] = sortedStringAgg(fn, as.sbuf[seg:end], counts[li])
 		} else {
-			vals[li], valid[li] = sortedFloatAgg(fn, as, as.fbuf[seg:end], counts[li])
+			vals[li], valid[li] = sortedFloatAgg(fn, &as.devbuf, as.fbuf[seg:end], counts[li])
+		}
+	}
+	return pairResult{vals: vals, valid: valid}
+}
+
+// streamExtract serves one streamable function from per-group accumulators,
+// reproducing agg.Func.Apply's formulas — including expression order, so
+// floats match bit for bit. Shared by the fresh-scan path (extractPair) and
+// the retained-state path (attrState.extract in delta.go).
+func streamExtract(fn agg.Func, nvalid []int, sum, mn, mx, ss, m4 []float64, ngroups int) pairResult {
+	vals := make([]float64, ngroups)
+	valid := make([]bool, ngroups)
+	for li := 0; li < ngroups; li++ {
+		nv := nvalid[li]
+		if nv == 0 {
+			continue // (0, false): aggregate of an all-NULL group
+		}
+		nvf := float64(nv)
+		switch fn {
+		case agg.Sum:
+			vals[li], valid[li] = sum[li], true
+		case agg.Min:
+			vals[li], valid[li] = mn[li], true
+		case agg.Max:
+			vals[li], valid[li] = mx[li], true
+		case agg.Avg:
+			vals[li], valid[li] = sum[li]/nvf, true
+		case agg.Var:
+			vals[li], valid[li] = ss[li]/nvf, true
+		case agg.VarSample:
+			if nv < 2 {
+				continue
+			}
+			vals[li], valid[li] = ss[li]/nvf*nvf/float64(nv-1), true
+		case agg.Std:
+			vals[li], valid[li] = math.Sqrt(ss[li]/nvf), true
+		case agg.StdSample:
+			if nv < 2 {
+				continue
+			}
+			vals[li], valid[li] = math.Sqrt(ss[li]/nvf*nvf/float64(nv-1)), true
+		case agg.Kurtosis:
+			if nv < 4 {
+				continue
+			}
+			m2 := ss[li] / nvf
+			if m2 == 0 {
+				continue
+			}
+			k4 := m4[li] / nvf
+			vals[li], valid[li] = k4/(m2*m2)-3, true
 		}
 	}
 	return pairResult{vals: vals, valid: valid}
@@ -677,7 +742,9 @@ func medianSorted(s []float64) float64 {
 
 // sortedFloatAgg evaluates one buffered aggregate over a group's ascending-
 // sorted non-null values, mirroring agg.Func.Apply's results bit for bit.
-func sortedFloatAgg(fn agg.Func, as *attrScan, seg []float64, n int) (float64, bool) {
+// devbuf is the caller's MAD deviation scratch, grown as needed and reused
+// across groups.
+func sortedFloatAgg(fn agg.Func, devbuf *[]float64, seg []float64, n int) (float64, bool) {
 	if fn == agg.CountDistinct {
 		// Distinct values = runs of equal neighbours; defined on empty input.
 		cnt := 0
@@ -699,10 +766,10 @@ func sortedFloatAgg(fn agg.Func, as *attrScan, seg []float64, n int) (float64, b
 		return medianSorted(seg), true
 	case agg.MAD:
 		med := medianSorted(seg)
-		if cap(as.devbuf) < len(seg) {
-			as.devbuf = make([]float64, len(seg))
+		if cap(*devbuf) < len(seg) {
+			*devbuf = make([]float64, len(seg))
 		}
-		dev := as.devbuf[:len(seg)]
+		dev := (*devbuf)[:len(seg)]
 		for i, x := range seg {
 			dev[i] = math.Abs(x - med)
 		}

@@ -35,6 +35,18 @@ type tableCore struct {
 	t          *dataframe.Table
 	morselRows int
 
+	// Epoch fence (PR 9). Scans hold fence.RLock for their whole pass;
+	// appends and delta advances hold fence.Lock, so readers never observe a
+	// half-appended table or half-advanced entries. epoch is the table epoch
+	// the core's entries cover, and shiftEpoch the last epoch whose advance
+	// re-encoded a dictionary (shifting codes and wiping the code-keyed
+	// predicate/mask maps); both are guarded by fence. The maps below stay
+	// guarded by mu as before — fence orders scans against appends, mu orders
+	// entry creation within a scan.
+	fence      sync.RWMutex
+	epoch      uint64
+	shiftEpoch uint64
+
 	mu      sync.Mutex
 	groups  map[string]*groupEntry
 	preds   map[string]*predEntry
@@ -58,6 +70,7 @@ func newTableCore(t *dataframe.Table, morselRows int) *tableCore {
 	return &tableCore{
 		t:          t,
 		morselRows: morselRows,
+		epoch:      t.Epoch(), // empty caches vacuously cover the current epoch
 		groups:     map[string]*groupEntry{},
 		preds:      map[string]*predEntry{},
 		masks:      map[string]*maskEntry{},
@@ -151,6 +164,33 @@ func (s *ScanScheduler) coreFor(t *dataframe.Table) *tableCore {
 	c := newTableCore(t, s.MorselRows)
 	s.cores[fp] = c
 	return c
+}
+
+// Append appends batch to t (see dataframe.Table.AppendRows) through the
+// epoch fence of t's shared core: the append waits out in-flight scans by
+// executors sharing this scheduler and blocks new ones, so concurrent
+// transform traffic never observes a half-appended table. Cache entries
+// advance lazily when the next scan finds the core behind the table's epoch;
+// back-to-back appends coalesce into one advance. Consumers of t outside
+// this scheduler are not fenced — the serving daemon routes every bound
+// executor through the process scheduler for exactly this reason.
+func (s *ScanScheduler) Append(t, batch *dataframe.Table) error {
+	c := s.coreFor(t)
+	c.fence.Lock()
+	defer c.fence.Unlock()
+	return t.AppendRows(batch)
+}
+
+// AppendStats is Append reporting, under the same fence, the table's
+// post-append epoch and total row count — the serving layer's append response.
+// (Reading them outside the fence would race with concurrent appends; Epoch
+// alone is atomic, but the row count is not.)
+func (s *ScanScheduler) AppendStats(t, batch *dataframe.Table) (epoch uint64, rows int, err error) {
+	c := s.coreFor(t)
+	c.fence.Lock()
+	defer c.fence.Unlock()
+	err = t.AppendRows(batch)
+	return t.Epoch(), t.NumRows(), err
 }
 
 // Len returns the number of shared cores (for tests).

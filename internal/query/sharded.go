@@ -66,3 +66,64 @@ func NewShardedExecutor(shards []*dataframe.Table, opts ...ExecutorOption) (*Exe
 	}
 	return NewExecutor(parent.Shard(union), opts...), nil
 }
+
+// AppendSharded grows a shard family in one fenced mutation: batch lands on
+// the shards' common parent, and each batch row additionally lands on the
+// shard route assigns it to (route[i] names the shard of batch row i), with
+// parent row indices recorded so ShardOf stays consistent. The fence comes
+// from s (nil means the process-level scheduler): in-flight scans of every
+// executor sharing the parent's core drain first, and their caches advance
+// lazily on their next scan. Routed sub-batches preserve batch row order, so
+// results after the append are bit-identical to having built the family from
+// the grown data. Validation runs before any mutation; an error mutates
+// nothing.
+func AppendSharded(s *ScanScheduler, shards []*dataframe.Table, batch *dataframe.Table, route []int) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("query: AppendSharded with no shards")
+	}
+	if len(route) != batch.NumRows() {
+		return fmt.Errorf("query: %d route entries for %d batch rows", len(route), batch.NumRows())
+	}
+	var parent *dataframe.Table
+	for i, sh := range shards {
+		p, _, ok := sh.ShardOf()
+		if !ok {
+			return fmt.Errorf("query: shard %d has no shard provenance (build shards with Table.Shard)", i)
+		}
+		if parent == nil {
+			parent = p
+		} else if p != parent {
+			return fmt.Errorf("query: shard %d comes from a different parent table", i)
+		}
+	}
+	byShard := make([][]int, len(shards))
+	for i, j := range route {
+		if j < 0 || j >= len(shards) {
+			return fmt.Errorf("query: route[%d] = %d out of range (have %d shards)", i, j, len(shards))
+		}
+		byShard[j] = append(byShard[j], i)
+	}
+	if s == nil {
+		s = processScheduler
+	}
+	c := s.coreFor(parent)
+	c.fence.Lock()
+	defer c.fence.Unlock()
+	oldN := parent.NumRows()
+	if err := parent.AppendRows(batch); err != nil {
+		return err
+	}
+	for j, idx := range byShard {
+		if len(idx) == 0 {
+			continue
+		}
+		parentRows := make([]int, len(idx))
+		for k, i := range idx {
+			parentRows[k] = oldN + i
+		}
+		if err := shards[j].AppendShardRows(batch.Take(idx), parentRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

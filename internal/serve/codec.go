@@ -155,6 +155,112 @@ func keyNumber(row map[string]any, i int, name string) (json.Number, error) {
 	return num, nil
 }
 
+// decodeAppendRows parses an append request body — the same rows-of-objects
+// shape as transform, but over the relevant table's FULL schema — into a batch
+// table matching t's columns. A missing or JSON-null value becomes a NULL;
+// present values must match the column's kind (integral JSON numbers for int
+// and time columns). The batch is what Table.AppendRows accepts.
+func decodeAppendRows(r io.Reader, t *dataframe.Table) (*dataframe.Table, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var req transformRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	n := len(req.Rows)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no rows", ErrBadRequest)
+	}
+	cols := make([]*dataframe.Column, 0, t.NumCols())
+	for _, name := range t.ColumnNames() {
+		kind := t.Column(name).Kind()
+		valid := make([]bool, n)
+		var col *dataframe.Column
+		switch kind {
+		case dataframe.KindInt, dataframe.KindTime:
+			vals := make([]int64, n)
+			for i, row := range req.Rows {
+				v, ok := row[name]
+				if !ok || v == nil {
+					continue
+				}
+				num, ok := v.(json.Number)
+				if !ok {
+					return nil, fmt.Errorf("%w: row %d column %q: expected number, got %T", ErrBadRequest, i, name, v)
+				}
+				iv, err := num.Int64()
+				if err != nil {
+					return nil, fmt.Errorf("%w: row %d column %q: %v is not an integer", ErrBadRequest, i, name, num)
+				}
+				vals[i], valid[i] = iv, true
+			}
+			if kind == dataframe.KindTime {
+				col = dataframe.NewTimeColumn(name, vals, valid)
+			} else {
+				col = dataframe.NewIntColumn(name, vals, valid)
+			}
+		case dataframe.KindFloat:
+			vals := make([]float64, n)
+			for i, row := range req.Rows {
+				v, ok := row[name]
+				if !ok || v == nil {
+					continue
+				}
+				num, ok := v.(json.Number)
+				if !ok {
+					return nil, fmt.Errorf("%w: row %d column %q: expected number, got %T", ErrBadRequest, i, name, v)
+				}
+				fv, err := num.Float64()
+				if err != nil {
+					return nil, fmt.Errorf("%w: row %d column %q: %v is not a number", ErrBadRequest, i, name, num)
+				}
+				vals[i], valid[i] = fv, true
+			}
+			col = dataframe.NewFloatColumn(name, vals, valid)
+		case dataframe.KindString:
+			vals := make([]string, n)
+			for i, row := range req.Rows {
+				v, ok := row[name]
+				if !ok || v == nil {
+					continue
+				}
+				sv, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("%w: row %d column %q: expected string, got %T", ErrBadRequest, i, name, v)
+				}
+				vals[i], valid[i] = sv, true
+			}
+			col = dataframe.NewStringColumn(name, vals, valid)
+		case dataframe.KindBool:
+			vals := make([]bool, n)
+			for i, row := range req.Rows {
+				v, ok := row[name]
+				if !ok || v == nil {
+					continue
+				}
+				bv, ok := v.(bool)
+				if !ok {
+					return nil, fmt.Errorf("%w: row %d column %q: expected bool, got %T", ErrBadRequest, i, name, v)
+				}
+				vals[i], valid[i] = bv, true
+			}
+			col = dataframe.NewBoolColumn(name, vals, valid)
+		default:
+			return nil, fmt.Errorf("serve: column %q has unsupported kind %s", name, kind)
+		}
+		cols = append(cols, col)
+	}
+	return dataframe.NewTable(cols...)
+}
+
+// appendResponse is the wire shape of an append result.
+type appendResponse struct {
+	Plan      string `json:"plan"`
+	Appended  int    `json:"appended"`
+	Epoch     uint64 `json:"epoch"`
+	TableRows int    `json:"table_rows"`
+}
+
 // transformResponse is the wire shape of a transform result: one object per
 // request row mapping feature name to value, null on join miss / NULL
 // aggregate. Coalesced reports whether the rows were served from a fused

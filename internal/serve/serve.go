@@ -283,6 +283,37 @@ func (s *Server) Transform(ctx context.Context, name string, tbl *dataframe.Tabl
 	return m, coalesced, err
 }
 
+// Append absorbs a batch of relevant-table rows into plan name's bound table
+// — the streaming ingest path (PR 9). The append runs through the
+// process-level scan scheduler's epoch fence, so it waits out in-flight
+// transform passes of every plan bound to the same table, and those plans'
+// caches advance incrementally over the delta rows on their next request: no
+// rebind, no swap, no full recompute. Single-table plans only (a multi-source
+// plan doesn't say which source the rows target). Returns the table's
+// post-append epoch and total row count.
+func (s *Server) Append(name string, batch *dataframe.Table) (epoch uint64, tableRows int, err error) {
+	s.mu.Lock()
+	h, ok := s.plans[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownPlan, name)
+	}
+	if s.draining.Load() {
+		return 0, 0, ErrDraining
+	}
+	if h.binding.Relevant == nil {
+		return 0, 0, fmt.Errorf("%w: plan %q binds multiple sources; append serves single-table plans", ErrBadRequest, name)
+	}
+	epoch, tableRows, err = query.ProcessScanScheduler().AppendStats(h.binding.Relevant, batch)
+	if err != nil {
+		return epoch, tableRows, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	h.counters.appends.Add(1)
+	h.counters.appendedRows.Add(int64(batch.NumRows()))
+	s.cfg.logf("serve: plan %q absorbed %d rows (epoch %d, %d total)", name, batch.NumRows(), epoch, tableRows)
+	return epoch, tableRows, nil
+}
+
 // Stats snapshots every plan's serve-side and executor counters, name order.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -321,6 +352,7 @@ func (s *Server) Drain() {
 //	GET  /v1/healthz                    — liveness ("ok" / "draining")
 //	GET  /v1/plans                      — served plans with version/keys/features
 //	POST /v1/plans/{name}/transform     — entity feature lookup (rows of join keys)
+//	POST /v1/plans/{name}/append        — absorb relevant-table rows (full schema, nulls allowed)
 //	POST /v1/plans/{name}               — hot-swap the named plan to the posted plan JSON
 //	GET  /v1/stats                      — serve counters merged with executor stats
 func (s *Server) Handler() http.Handler {
@@ -328,6 +360,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/plans", s.handlePlans)
 	mux.HandleFunc("POST /v1/plans/{name}/transform", s.handleTransform)
+	mux.HandleFunc("POST /v1/plans/{name}/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/plans/{name}", s.handleSwap)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
@@ -412,6 +445,37 @@ func (s *Server) transformOn(ctx context.Context, h *planHandle, st *planState, 
 	h.counters.requests.Add(1)
 	h.counters.rows.Add(rows)
 	return res.m, st, res.coalesced, nil
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	h, ok := s.plans[name]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %q", ErrUnknownPlan, name))
+		return
+	}
+	if h.binding.Relevant == nil {
+		writeError(w, fmt.Errorf("%w: plan %q binds multiple sources; append serves single-table plans", ErrBadRequest, name))
+		return
+	}
+	batch, err := decodeAppendRows(r.Body, h.binding.Relevant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	epoch, rows, err := s.Append(name, batch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{
+		Plan:      name,
+		Appended:  batch.NumRows(),
+		Epoch:     epoch,
+		TableRows: rows,
+	})
 }
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {

@@ -566,6 +566,120 @@ func TestServeHTTPSurface(t *testing.T) {
 	}
 }
 
+// TestServeAppend covers the PR 9 streaming-ingest endpoint: appended rows
+// are absorbed into the bound relevant table without rebinding, the next
+// transform reflects them bit-identically to a from-scratch transformer over
+// the grown data, and the stats surface reports the append counters and table
+// epoch. Error shape: multi-source plans and malformed rows are 400s, unknown
+// plans 404s.
+func TestServeAppend(t *testing.T) {
+	rel := testRelevant(t, 2000, 100, 10)
+	planJSON := testPlanJSON(t, 4)
+	srv := NewServer(Config{CoalesceWindow: -1})
+	if err := srv.AddPlan("p", planJSON, PlanBinding{Relevant: rel}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm the plan's caches so the append exercises the delta path.
+	uids := []int64{1, 2, 3, 97, 99}
+	if _, _, err := srv.Transform(context.Background(), "p", keyTable(t, uids)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rows target entities 1 and 99; one row carries a NULL val and a missing
+	// cat (both NULLs on the table).
+	appendBody := `{"rows":[
+		{"uid":1,"val":123.5,"cat":"a"},
+		{"uid":99,"val":null},
+		{"uid":1,"val":-7.25,"cat":"d"}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/plans/p/append", "application/json", strings.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar appendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d", resp.StatusCode)
+	}
+	if ar.Appended != 3 || ar.Epoch != 1 || ar.TableRows != 2003 {
+		t.Fatalf("append response = %+v, want 3 rows at epoch 1, 2003 total", ar)
+	}
+
+	// The served features must now match a from-scratch transformer over the
+	// grown table, bit for bit.
+	got, _, err := srv.Transform(context.Background(), "p", keyTable(t, uids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := dataframe.Concat(testRelevant(t, 2000, 100, 10), dataframe.MustNewTable(
+		dataframe.NewIntColumn("uid", []int64{1, 99, 1}, nil),
+		dataframe.NewFloatColumn("val", []float64{123.5, 0, -7.25}, []bool{true, false, true}),
+		dataframe.NewStringColumn("cat", []string{"a", "", "d"}, []bool{true, false, true}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := feataug.DecodePlan(planJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := plan.Transformer(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solo.Transform(context.Background(), keyTable(t, uids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, feat := range solo.FeatureNames() {
+		wvals, wvalid := want.Column(feat).Floats()
+		gvals, gvalid := got.Col(j)
+		for i := range uids {
+			if gvalid[i] != wvalid[i] || (wvalid[i] && gvals[i] != wvals[i]) {
+				t.Errorf("uid %d %s: got (%v,%v), from scratch (%v,%v)",
+					uids[i], feat, gvals[i], gvalid[i], wvals[i], wvalid[i])
+			}
+		}
+	}
+
+	ps := srv.Stats().Plans[0]
+	if ps.Appends != 1 || ps.AppendedRows != 3 || ps.TableEpoch != 1 {
+		t.Errorf("stats appends/rows/epoch = %d/%d/%d, want 1/3/1", ps.Appends, ps.AppendedRows, ps.TableEpoch)
+	}
+
+	// Error surface.
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/v1/plans/nope/append", appendBody); code != http.StatusNotFound {
+		t.Errorf("unknown plan append = %d, want 404", code)
+	}
+	if code := post("/v1/plans/p/append", `{"rows":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty append = %d, want 400", code)
+	}
+	if code := post("/v1/plans/p/append", `{"rows":[{"uid":"one"}]}`); code != http.StatusBadRequest {
+		t.Errorf("mistyped append = %d, want 400", code)
+	}
+	fp := (&feataug.FeaturePlan{Version: feataug.PlanVersion, Keys: []string{"uid"}, Queries: testQueries(2)}).SchemaFingerprint(rel)
+	if err := srv.AddPlan("m", multiPlanJSON(t, fp, 2), PlanBinding{Sources: map[string]*dataframe.Table{"rel": rel}}); err != nil {
+		t.Fatal(err)
+	}
+	if code := post("/v1/plans/m/append", appendBody); code != http.StatusBadRequest {
+		t.Errorf("multi-source append = %d, want 400", code)
+	}
+}
+
 // TestServeStatsDictCounters pins the PR 8 dictionary counters on the stats
 // surface: the /v1/stats JSON must carry the new executor fields, binding a
 // plan must eagerly encode the relevant table's string columns, and serving

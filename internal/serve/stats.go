@@ -18,6 +18,8 @@ type planCounters struct {
 	coalescedBatches atomic.Int64
 	coalescedRows    atomic.Int64
 	rejected         atomic.Int64
+	appends          atomic.Int64
+	appendedRows     atomic.Int64
 }
 
 // PlanStats is the /v1/stats snapshot of one served plan: serve-side
@@ -38,6 +40,12 @@ type PlanStats struct {
 	RejectedRequests int64 `json:"rejected_requests"`
 	// SwapCount counts successful hot-swaps since boot.
 	SwapCount int64 `json:"swap_count"`
+	// Appends counts absorbed append batches, totalling AppendedRows rows;
+	// TableEpoch is the bound relevant table's current append epoch (0 for
+	// multi-source plans, whose tables stay append-free).
+	Appends      int64  `json:"appends"`
+	AppendedRows int64  `json:"appended_rows"`
+	TableEpoch   uint64 `json:"table_epoch"`
 	// Executor is the current transformer's engine-side counter snapshot
 	// (for multi-table plans, merged across the per-source executors).
 	Executor query.ExecutorStats `json:"executor"`
@@ -50,6 +58,10 @@ type Stats struct {
 
 func (h *planHandle) snapshot() PlanStats {
 	st := h.state.Load()
+	var tableEpoch uint64
+	if h.binding.Relevant != nil {
+		tableEpoch = h.binding.Relevant.Epoch()
+	}
 	return PlanStats{
 		Plan:             h.name,
 		Version:          st.version,
@@ -60,6 +72,9 @@ func (h *planHandle) snapshot() PlanStats {
 		CoalescedRows:    h.counters.coalescedRows.Load(),
 		RejectedRequests: h.counters.rejected.Load(),
 		SwapCount:        h.swaps.Load(),
+		Appends:          h.counters.appends.Load(),
+		AppendedRows:     h.counters.appendedRows.Load(),
+		TableEpoch:       tableEpoch,
 		Executor:         st.tr.Stats(),
 	}
 }
