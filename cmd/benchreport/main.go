@@ -9,7 +9,9 @@
 //
 // Each benchmark line contributes its iterations plus every value/unit pair
 // (ns/op, B/op, allocs/op and any custom ReportMetric units such as
-// queries/s or speedup_fused_vs_pr1).
+// queries/s or speedup_fused_vs_pr1). Memory metrics — resident bytes/row,
+// mem_reduction ratios and peak_rss* readings — are additionally lifted into
+// a top-level "memory" section so residency snapshots are one jq away.
 package main
 
 import (
@@ -32,12 +34,26 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// MemoryMetric is one memory-focused measurement lifted out of the benchmark
+// metrics (resident bytes/row, reduction ratios, process peak RSS), so a
+// perf snapshot answers "what does it cost to hold the table" without
+// grepping every benchmark's metric map.
+type MemoryMetric struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+}
+
 // Report is the archived document.
 type Report struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Memory summarises the residency metrics across all benchmarks
+	// (units matching bytes/row, mem_reduction or peak_rss*), in
+	// (benchmark, metric) order; omitted when no benchmark reports any.
+	Memory []MemoryMetric `json:"memory,omitempty"`
 }
 
 func main() {
@@ -115,7 +131,36 @@ func Parse(r io.Reader) (*Report, error) {
 		}
 		return a.Name < b.Name
 	})
+	rep.Memory = memoryMetrics(rep.Benchmarks)
 	return rep, nil
+}
+
+// isMemoryMetric reports whether a metric unit describes residency rather
+// than speed: per-row resident bytes, a compact-vs-raw reduction ratio, or
+// the process peak RSS a big-table benchmark recorded.
+func isMemoryMetric(unit string) bool {
+	return strings.Contains(unit, "bytes/row") ||
+		unit == "mem_reduction" ||
+		strings.HasPrefix(unit, "peak_rss")
+}
+
+// memoryMetrics lifts the memory metrics out of an already-sorted benchmark
+// list, metrics in name order within each benchmark.
+func memoryMetrics(benchmarks []Benchmark) []MemoryMetric {
+	var out []MemoryMetric
+	for _, b := range benchmarks {
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			if isMemoryMetric(u) {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			out = append(out, MemoryMetric{Benchmark: b.Name, Metric: u, Value: b.Metrics[u]})
+		}
+	}
+	return out
 }
 
 // parseLine parses one result line:

@@ -16,6 +16,7 @@ ok  	repro/internal/query	0.251s
 pkg: repro
 BenchmarkExecutePerQuery-1     	       5	 226493careless ns/op
 BenchmarkExecuteBatch-1        	       5	  12345678 ns/op	      9720 queries/s
+BenchmarkStringHeavy10M-1      	       1	 987654321 ns/op	        58.64 bytes/row	         2.749 mem_reduction	       812.5 peak_rss_mb	     31250 queries/s
 `
 
 func TestParse(t *testing.T) {
@@ -26,15 +27,15 @@ func TestParse(t *testing.T) {
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
 		t.Fatalf("header mis-parsed: %+v", rep)
 	}
-	// The malformed line is skipped; three well-formed benchmarks survive,
+	// The malformed line is skipped; four well-formed benchmarks survive,
 	// sorted by (package, name).
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("want 3 benchmarks, got %d: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("want 4 benchmarks, got %d: %+v", len(rep.Benchmarks), rep.Benchmarks)
 	}
 	if rep.Benchmarks[0].Package != "repro" || rep.Benchmarks[0].Name != "BenchmarkExecuteBatch" {
 		t.Fatalf("sort order wrong: %+v", rep.Benchmarks[0])
 	}
-	fused := rep.Benchmarks[1]
+	fused := rep.Benchmarks[2]
 	if fused.Name != "BenchmarkExecuteBatchFused" {
 		t.Fatalf("GOMAXPROCS suffix not stripped: %q", fused.Name)
 	}
@@ -44,8 +45,30 @@ func TestParse(t *testing.T) {
 	if fused.Metrics["ns/op"] != 2775414 || fused.Metrics["allocs/op"] != 5159 || fused.Metrics["queries/s"] != 72064 {
 		t.Fatalf("metrics mis-parsed: %+v", fused.Metrics)
 	}
-	speedup := rep.Benchmarks[2]
+	speedup := rep.Benchmarks[3]
 	if speedup.Metrics["speedup_fused_vs_pr1"] != 2.639 {
 		t.Fatalf("custom metric mis-parsed: %+v", speedup.Metrics)
+	}
+}
+
+func TestMemorySection(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the residency metrics of the 10M benchmark, in metric order;
+	// queries/s and ns/op stay out of the memory section.
+	want := []MemoryMetric{
+		{Benchmark: "BenchmarkStringHeavy10M", Metric: "bytes/row", Value: 58.64},
+		{Benchmark: "BenchmarkStringHeavy10M", Metric: "mem_reduction", Value: 2.749},
+		{Benchmark: "BenchmarkStringHeavy10M", Metric: "peak_rss_mb", Value: 812.5},
+	}
+	if len(rep.Memory) != len(want) {
+		t.Fatalf("memory section = %+v, want %+v", rep.Memory, want)
+	}
+	for i, m := range want {
+		if rep.Memory[i] != m {
+			t.Fatalf("memory[%d] = %+v, want %+v", i, rep.Memory[i], m)
+		}
 	}
 }

@@ -44,6 +44,11 @@
 // encoded and unencoded paths are bit-identical; query.Executor's
 // DisableDictEncoding knob forces the unencoded fallbacks and is swept by the
 // differential tests.
+//
+// -v also prints the relevant table's resident footprint (PR 10): total MB,
+// bytes/row and how many string columns run code-backed compact storage,
+// where the dictionary codes are the column — the []string backing is
+// dropped and per-row reads decode from the domain.
 package main
 
 import (
@@ -463,6 +468,7 @@ func runFit(ctx context.Context, spec, planPath string, fo fitOpts, out, stderr 
 	}
 	opts := []feataug.Option{feataug.WithConfig(cfg), feataug.WithModel(model)}
 	if fo.verbose {
+		printTableMemory(stderr, "fit", d.Relevant)
 		// -v surfaces the engine's log lines — including the executor's
 		// cache/scan stats printed at the end of the run — on stderr. For a
 		// multi-table scenario each line is scoped "[source] ..." by FitMulti,
@@ -620,11 +626,35 @@ func runTransform(ctx context.Context, planPath, spec string, fo fitOpts, shared
 	fmt.Fprintf(stderr, "transform: %d rows x %d columns (+%d planned features)\n",
 		augmented.NumRows(), len(augmented.Columns()), nfeats)
 	if fo.verbose {
+		printTableMemory(stderr, "transform", d.Relevant)
 		s := stats()
 		fmt.Fprintf(stderr, "transform: executor stats: %s\n", s)
 		printFusionStats(stderr, "transform", s)
 	}
 	return augmented.WriteCSV(out)
+}
+
+// printTableMemory spells out the relevant table's resident footprint — the
+// -v observability line behind the compact-storage work (PR 10): total
+// bytes, bytes/row, and how many of the string columns are code-backed
+// (compact columns hold dictionary codes only; no []string survives).
+func printTableMemory(stderr io.Writer, mode string, t *dataframe.Table) {
+	total, cols := t.MemBytes()
+	nStr, nCompact := 0, 0
+	for _, c := range cols {
+		if c.Kind == dataframe.KindString {
+			nStr++
+			if c.Compact {
+				nCompact++
+			}
+		}
+	}
+	perRow := 0.0
+	if t.NumRows() > 0 {
+		perRow = float64(total) / float64(t.NumRows())
+	}
+	fmt.Fprintf(stderr, "%s: relevant table: %d rows, %.2f MB resident (%.1f bytes/row), %d/%d string columns compact\n",
+		mode, t.NumRows(), float64(total)/(1<<20), perRow, nCompact, nStr)
 }
 
 // printFusionStats spells out an executor-stats snapshot's fusion counters —

@@ -54,13 +54,20 @@ type Column struct {
 	kind   Kind
 	ints   []int64   // KindInt and KindTime (unix seconds)
 	floats []float64 // KindFloat
-	strs   []string  // KindString
+	strs   []string  // KindString; nil in compact mode
 	bools  []bool    // KindBool
 	valid  []bool    // valid[i] == false means NULL
 	// dict lazily caches the dictionary encoding of a string column (see
 	// dict.go). A plain pointer, not a lock, so by-value copies (Rename)
 	// stay vet-clean and share the encoding.
 	dict *dictLazy
+	// compact marks a string column whose dictionary codes are the PRIMARY
+	// storage: strs is nil and every per-row read decodes domain[code] lazily
+	// (see strAt). Invariant while compact: dict.built && dict.enc != nil.
+	// Appends that would invalidate the encoding (mid-domain value, cap
+	// crossing) rematerialise strs first and drop the flag, preserving the
+	// PR 9 fallback semantics exactly.
+	compact bool
 }
 
 // NewIntColumn builds an int column. A nil valid slice means all values are
@@ -158,12 +165,27 @@ func (c *Column) Float(i int) float64 {
 	return c.floats[i]
 }
 
-// Str returns the string value at row i. Valid for KindString.
+// Str returns the string value at row i. Valid for KindString. On a compact
+// column the value is decoded from the dictionary domain ("" at NULL rows,
+// matching the raw representation's placeholder).
 func (c *Column) Str(i int) string {
 	if c.kind != KindString {
 		panic("dataframe: Str on " + c.kind.String() + " column " + c.name)
 	}
-	return c.strs[i]
+	return c.strAt(i)
+}
+
+// strAt is the kind-unchecked per-row string read: raw columns index strs,
+// compact columns decode domain[code].
+func (c *Column) strAt(i int) string {
+	if !c.compact {
+		return c.strs[i]
+	}
+	if !c.valid[i] {
+		return ""
+	}
+	enc := c.dict.enc
+	return enc.values[enc.codes[i]]
 }
 
 // Bool returns the bool value at row i. Valid for KindBool.
@@ -214,7 +236,7 @@ func (c *Column) Value(i int) interface{} {
 	case KindFloat:
 		return c.floats[i]
 	case KindString:
-		return c.strs[i]
+		return c.strAt(i)
 	case KindTime:
 		return time.Unix(c.ints[i], 0).UTC()
 	case KindBool:
@@ -244,7 +266,7 @@ func (c *Column) AppendKey(b []byte, i int) []byte {
 		return strconv.AppendFloat(b, c.floats[i], 'g', -1, 64)
 	case KindString:
 		b = append(b, 's')
-		return append(b, c.strs[i]...)
+		return append(b, c.strAt(i)...)
 	case KindBool:
 		if c.bools[i] {
 			return append(b, "b1"...)
@@ -266,7 +288,8 @@ func (c *Column) IntData() []int64 { return c.ints }
 // FloatData returns the backing float64 slice of a KindFloat column.
 func (c *Column) FloatData() []float64 { return c.floats }
 
-// StrData returns the backing string slice of a KindString column.
+// StrData returns the backing string slice of a KindString column, or nil on
+// a compact column (no []string backing exists; read through Str/Dict codes).
 func (c *Column) StrData() []string { return c.strs }
 
 // BoolData returns the backing bool slice of a KindBool column.
@@ -293,6 +316,33 @@ func (c *Column) Take(idx []int) *Column {
 			out.valid[j] = c.valid[i]
 		}
 	case KindString:
+		if c.compact {
+			// Stay compact: take the codes, rebuild validity, share the
+			// domain (full-slice expression so a later in-place domain
+			// extension on either column reallocates instead of clobbering
+			// the sibling). The inherited domain may list values absent from
+			// the taken rows; presence-scanning consumers handle that.
+			src := c.dict.enc
+			nv := len(src.values)
+			enc := &DictEncoding{
+				values:    src.values[:nv:nv],
+				codes:     make([]uint32, len(idx)),
+				validBits: make([]uint64, (len(idx)+63)/64),
+			}
+			for j, i := range idx {
+				if c.valid[i] {
+					out.valid[j] = true
+					enc.codes[j] = src.codes[i]
+					enc.validBits[j>>6] |= 1 << uint(j&63)
+				} else {
+					enc.nulls++
+				}
+			}
+			enc.rebuildMirrors()
+			out.dict = newBuiltDict(enc)
+			out.compact = true
+			break
+		}
 		out.strs = make([]string, len(idx))
 		for j, i := range idx {
 			out.strs[j] = c.strs[i]
@@ -333,6 +383,22 @@ func (c *Column) Floats() ([]float64, []bool) {
 // ordinalCodes maps each string value to its rank in the sorted distinct
 // domain. NULLs get code -1.
 func (c *Column) ordinalCodes() []int {
+	if c.compact {
+		// The dictionary domain is already sorted; rank only the values
+		// present among the column's rows (an inherited domain may list
+		// absent values) so the result matches the raw-column scan exactly.
+		enc := c.dict.enc
+		rank := presenceRanks(enc, c.valid)
+		codes := make([]int, len(enc.codes))
+		for i := range codes {
+			if !c.valid[i] {
+				codes[i] = -1
+				continue
+			}
+			codes[i] = rank[enc.codes[i]]
+		}
+		return codes
+	}
 	domain := map[string]int{}
 	var keys []string
 	for i, s := range c.strs {
@@ -359,6 +425,29 @@ func (c *Column) ordinalCodes() []int {
 	return codes
 }
 
+// presenceRanks scans a column's codes once and assigns each PRESENT domain
+// code its rank among the present codes (domain order == sorted order), -1
+// for absent codes.
+func presenceRanks(enc *DictEncoding, valid []bool) []int {
+	rank := make([]int, len(enc.values))
+	for i := range rank {
+		rank[i] = -1
+	}
+	for i, code := range enc.codes {
+		if valid[i] {
+			rank[code] = 0
+		}
+	}
+	r := 0
+	for i, v := range rank {
+		if v == 0 {
+			rank[i] = r
+			r++
+		}
+	}
+	return rank
+}
+
 func sortStrings(s []string) {
 	// Insertion sort is fine for domains; avoid importing sort here to keep
 	// this file dependency-free, and domains are small in practice.
@@ -381,7 +470,9 @@ func (c *Column) AppendNull() {
 	case KindFloat:
 		c.floats = append(c.floats, 0)
 	case KindString:
-		c.strs = append(c.strs, "")
+		if !c.compact { // compact: the NULL lives in the code/validity arrays
+			c.strs = append(c.strs, "")
+		}
 	case KindBool:
 		c.bools = append(c.bools, false)
 	}
@@ -410,8 +501,10 @@ func (c *Column) AppendStr(v string) {
 	if c.kind != KindString {
 		panic("dataframe: AppendStr on " + c.kind.String())
 	}
-	c.extendDictStr(v)
-	c.strs = append(c.strs, v)
+	c.extendDictStr(v) // may rematerialise a compact column (fallback cases)
+	if !c.compact {
+		c.strs = append(c.strs, v)
+	}
 	c.valid = append(c.valid, true)
 }
 
@@ -435,19 +528,29 @@ func (c *Column) appendFrom(o *Column) {
 	case KindFloat:
 		c.floats = append(c.floats, o.floats...)
 	case KindString:
-		c.extendDictBulk(o.strs, o.valid)
-		c.strs = append(c.strs, o.strs...)
+		vals := o.materializedStrs() // o may itself be compact
+		c.extendDictBulk(vals, o.valid)
+		if !c.compact { // extendDictBulk rematerialises on fallback
+			c.strs = append(c.strs, vals...)
+		}
 	case KindBool:
 		c.bools = append(c.bools, o.bools...)
 	}
 	c.valid = append(c.valid, o.valid...)
 }
 
-// Clone deep-copies the column.
+// Clone deep-copies the column. A compact column clones compact: the code
+// arrays are copied, the (immutable) domain is shared with append-safe
+// capacity.
 func (c *Column) Clone() *Column {
 	out := &Column{name: c.name, kind: c.kind}
 	if c.kind == KindString {
-		out.dict = &dictLazy{}
+		if c.compact {
+			out.dict = newBuiltDict(c.dict.enc.clone())
+			out.compact = true
+		} else {
+			out.dict = &dictLazy{}
+		}
 	}
 	out.valid = append([]bool(nil), c.valid...)
 	out.ints = append([]int64(nil), c.ints...)
@@ -458,10 +561,32 @@ func (c *Column) Clone() *Column {
 }
 
 // DistinctStrings returns the sorted distinct non-null values of a string
-// column, capped at limit (0 = no cap).
+// column, capped at limit (0 = no cap). When a dictionary encoding exists the
+// probe is served from it — a presence scan over the codes instead of a
+// hashed scan over raw strings (the domain is already sorted; the scan drops
+// inherited-domain values absent from the column's rows).
 func (c *Column) DistinctStrings(limit int) []string {
 	if c.kind != KindString {
 		panic("dataframe: DistinctStrings on " + c.kind.String())
+	}
+	if enc := c.Dict(); enc != nil {
+		present := make([]bool, len(enc.values))
+		for i, code := range enc.codes {
+			if c.valid[i] {
+				present[code] = true
+			}
+		}
+		var out []string
+		for code, p := range present {
+			if !p {
+				continue
+			}
+			out = append(out, enc.values[code])
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+		return out
 	}
 	seen := map[string]bool{}
 	var out []string

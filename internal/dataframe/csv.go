@@ -119,7 +119,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			case KindFloat:
 				rec[j] = strconv.FormatFloat(c.floats[i], 'g', -1, 64)
 			case KindString:
-				rec[j] = c.strs[i]
+				rec[j] = c.strAt(i)
 			case KindBool:
 				rec[j] = strconv.FormatBool(c.bools[i])
 			case KindTime:

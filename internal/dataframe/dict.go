@@ -230,10 +230,12 @@ func (c *Column) extendDictStr(v string) {
 	code, ok := enc.CodeOf(v)
 	if !ok {
 		if n := len(enc.values); n > 0 && v < enc.values[n-1] {
+			c.rematerialize()    // compact columns need strs back before the encoding goes
 			c.dict = &dictLazy{} // mid-domain value shifts codes: full re-encode
 			return
 		}
 		if len(enc.values) >= MaxDictCardinality {
+			c.rematerialize()
 			d.enc = nil // from-scratch over the grown column is unencodable too
 			return
 		}
@@ -284,10 +286,12 @@ func (c *Column) extendDictBulk(vals []string, valid []bool) {
 		slices.Sort(fresh)
 		fresh = slices.Compact(fresh)
 		if len(enc.values)+len(fresh) > MaxDictCardinality {
+			c.rematerialize()
 			d.enc = nil
 			return
 		}
 		if n := len(enc.values); n > 0 && fresh[0] < enc.values[n-1] {
+			c.rematerialize()
 			c.dict = &dictLazy{}
 			return
 		}

@@ -121,10 +121,24 @@ func (g *GroupIndex) buildSingleInt(c *Column) {
 // buildSingleString is the dictionary fast path for one string key column:
 // rows index a dense code->gid table (one extra slot for the NULL group)
 // instead of hashing, with the composite key string still materialised once
-// per group so Key(gid) stays byte-identical with the generic path.
+// per group so Key(gid) stays byte-identical with the generic path. The loop
+// is width-dispatched over the narrowest packed code lane the encoding
+// carries (uint8/uint16/uint32), so the sequential load per row is 1–4 bytes.
 func (g *GroupIndex) buildSingleString(c *Column, enc *DictEncoding) {
-	codes, valid := enc.Codes(), c.ValidData()
 	card := enc.Cardinality()
+	switch {
+	case enc.Codes8() != nil:
+		buildSingleStringLanes(g, c, enc.Codes8(), card)
+	case enc.Codes16() != nil:
+		buildSingleStringLanes(g, c, enc.Codes16(), card)
+	default:
+		buildSingleStringLanes(g, c, enc.Codes(), card)
+	}
+}
+
+// buildSingleStringLanes is buildSingleString's width-generic body.
+func buildSingleStringLanes[T uint8 | uint16 | uint32](g *GroupIndex, c *Column, codes []T, card int) {
+	valid := c.ValidData()
 	gidOf := make([]int, card+1) // slot card = NULL
 	for i := range gidOf {
 		gidOf[i] = -1
@@ -179,12 +193,12 @@ func comboDicts(cols []*Column) ([]*DictEncoding, bool) {
 // built, and Key(gid) bytes still come from appendRowKey once per group.
 func (g *GroupIndex) buildStringCombo(cols []*Column, encs []*DictEncoding) {
 	n := len(g.rowGID)
-	codes := make([][]uint32, len(encs))
+	lanes := make([]codeLanes, len(encs))
 	valids := make([][]bool, len(encs))
 	cards := make([]uint64, len(encs))
 	space := uint64(1)
 	for j, enc := range encs {
-		codes[j] = enc.Codes()
+		lanes[j] = lanesOf(enc)
 		valids[j] = cols[j].ValidData()
 		cards[j] = uint64(enc.Cardinality())
 		space *= cards[j] + 1
@@ -194,7 +208,7 @@ func (g *GroupIndex) buildStringCombo(cols []*Column, encs []*DictEncoding) {
 		for j := range encs {
 			slot := cards[j]
 			if valids[j][i] {
-				slot = uint64(codes[j][i])
+				slot = lanes[j].at(i)
 			}
 			code = code*(cards[j]+1) + slot
 		}
@@ -230,6 +244,35 @@ func (g *GroupIndex) buildStringCombo(cols []*Column, encs []*DictEncoding) {
 		g.rowGID[i] = gid
 		g.sizes[gid]++
 	}
+}
+
+// codeLanes reads a column's codes through its narrowest packed lane, so the
+// combo build touches 1–4 bytes per row per key instead of a fixed 4.
+type codeLanes struct {
+	c8  []uint8
+	c16 []uint16
+	c32 []uint32
+}
+
+func lanesOf(enc *DictEncoding) codeLanes {
+	switch {
+	case enc.Codes8() != nil:
+		return codeLanes{c8: enc.Codes8()}
+	case enc.Codes16() != nil:
+		return codeLanes{c16: enc.Codes16()}
+	default:
+		return codeLanes{c32: enc.Codes()}
+	}
+}
+
+func (l codeLanes) at(i int) uint64 {
+	if l.c8 != nil {
+		return uint64(l.c8[i])
+	}
+	if l.c16 != nil {
+		return uint64(l.c16[i])
+	}
+	return uint64(l.c32[i])
 }
 
 // newGroupRow is newGroup over a composite key-set.

@@ -90,7 +90,7 @@ func takeWithMisses(c *Column, idx []int) *Column {
 		case KindFloat:
 			out.floats[j] = c.floats[i]
 		case KindString:
-			out.strs[j] = c.strs[i]
+			out.strs[j] = c.strAt(i)
 		case KindBool:
 			out.bools[j] = c.bools[i]
 		}

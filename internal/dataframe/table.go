@@ -366,10 +366,26 @@ func (t *Table) SortBy(name string) (*Table, error) {
 			return va < vb
 		})
 	case c.kind == KindString:
+		if c.compact {
+			// Codes rank in domain order and the domain is sorted, so code
+			// compares give the exact string order without materialising.
+			codes := c.dict.enc.codes
+			sort.SliceStable(idx, func(a, b int) bool {
+				ia, ib := idx[a], idx[b]
+				if c.valid[ia] != c.valid[ib] {
+					return c.valid[ia]
+				}
+				return codes[ia] < codes[ib]
+			})
+			break
+		}
 		sort.SliceStable(idx, func(a, b int) bool {
 			ia, ib := idx[a], idx[b]
 			if c.valid[ia] != c.valid[ib] {
 				return c.valid[ia]
+			}
+			if !c.valid[ia] {
+				return false // NULL rows are unreadable: keep input order
 			}
 			return c.strs[ia] < c.strs[ib]
 		})

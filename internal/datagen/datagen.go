@@ -76,6 +76,8 @@ func ByName(name string) (Generator, error) {
 		return Covtype, nil
 	case "household":
 		return Household, nil
+	case "stringheavy":
+		return StringHeavy, nil
 	}
 	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
 }

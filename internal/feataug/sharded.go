@@ -46,15 +46,17 @@ func NewShardedTableByValues(t *dataframe.Table, splitCol string) (*ShardedTable
 	if col.Kind() != dataframe.KindString {
 		return nil, 0, fmt.Errorf("feataug: split column %q is %s, want string", splitCol, col.Kind())
 	}
-	strs, valid := col.StrData(), col.ValidData()
+	valid := col.ValidData()
 	byValue := map[string][]int{}
 	var names []string
 	nulls := 0
-	for i, s := range strs {
+	// Str reads the []string backing or decodes a compact column's codes.
+	for i := 0; i < col.Len(); i++ {
 		if !valid[i] {
 			nulls++
 			continue
 		}
+		s := col.Str(i)
 		if _, ok := byValue[s]; !ok {
 			names = append(names, s)
 		}

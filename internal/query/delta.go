@@ -571,14 +571,14 @@ func (st *attrState) advance(e *Executor, pe *planEntry, attr string, delta []in
 		for len(st.sortS) < ngroups {
 			st.sortS = append(st.sortS, nil)
 		}
-		strs := col.StrData()
+		// Str reads the []string backing or decodes a compact column's codes.
 		nd := 0
 		for _, i := range delta {
 			if !valid[i] {
 				continue
 			}
 			li := local[rowGID[i]] - 1
-			st.sortS[li] = append(st.sortS[li], strs[i])
+			st.sortS[li] = append(st.sortS[li], col.Str(i))
 			dirty[li] = true
 		}
 		for li, d := range dirty {

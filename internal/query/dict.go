@@ -63,6 +63,14 @@ func (e *Executor) noteCodePred() {
 	e.mu.Unlock()
 }
 
+// noteSwarPred records one predicate bitmap built word-parallel (a subset of
+// the CodePredScans count).
+func (e *Executor) noteSwarPred() {
+	e.mu.Lock()
+	e.stats.SwarPredScans++
+	e.mu.Unlock()
+}
+
 // codeWidth is the set of code representations the kernels specialise over.
 type codeWidth interface {
 	~uint8 | ~uint16 | ~uint32
@@ -137,25 +145,35 @@ func rangeInt64Bits(vals []int64, vbits []uint64, lo, hi int64, bm []uint64) {
 }
 
 // dictEqBits dispatches the equality kernel to the narrowest code mirror the
-// encoding carries.
-func dictEqBits(enc *dataframe.DictEncoding, code uint32, bm []uint64) {
-	dictEqBitsFrom(enc, code, bm, 0)
+// encoding carries. It reports whether a word-parallel SWAR kernel ran (the
+// narrow mirrors with swar set; wide uint32 columns always fall back scalar).
+func dictEqBits(enc *dataframe.DictEncoding, code uint32, bm []uint64, swar bool) bool {
+	return dictEqBitsFrom(enc, code, bm, 0, swar)
 }
 
 // dictEqBitsFrom is dictEqBits restricted to rows [lo, n): the kernels run
 // over the word-aligned subslices starting at lo (a multiple of 64, or 0), so
 // a delta advance pays only for the appended words.
-func dictEqBitsFrom(enc *dataframe.DictEncoding, code uint32, bm []uint64, lo int) {
+func dictEqBitsFrom(enc *dataframe.DictEncoding, code uint32, bm []uint64, lo int, swar bool) bool {
 	w0 := lo >> 6
 	vbits := enc.ValidBits()[w0:]
 	sub := bm[w0:]
 	if c8 := enc.Codes8(); c8 != nil {
+		if swar {
+			swarEqBits8(c8[lo:], vbits, uint8(code), sub)
+			return true
+		}
 		eqCodeBits(c8[lo:], vbits, uint8(code), sub)
 	} else if c16 := enc.Codes16(); c16 != nil {
+		if swar {
+			swarEqBits16(c16[lo:], vbits, uint16(code), sub)
+			return true
+		}
 		eqCodeBits(c16[lo:], vbits, uint16(code), sub)
 	} else {
 		eqCodeBits(enc.Codes()[lo:], vbits, code, sub)
 	}
+	return false
 }
 
 // twoPow63 is 2^63 as a float64 (exact). float64(math.MaxInt64) rounds UP to
@@ -195,9 +213,10 @@ func intRangeBounds(p Predicate) (lo, hi int64, empty bool) {
 // intRangeBits serves a range predicate over an int/time column from the
 // domain probe's integer state: exact integer bounds, then the narrowest
 // kernel the probe admits — uint8/uint16 codes when the column's width fits
-// the counting domain, raw int64 compares otherwise.
-func intRangeBits(dom *domainEntry, p Predicate, bm []uint64) {
-	intRangeBitsFrom(dom, p, bm, 0)
+// the counting domain, raw int64 compares otherwise. It reports whether a
+// word-parallel SWAR kernel ran.
+func intRangeBits(dom *domainEntry, p Predicate, bm []uint64, swar bool) bool {
+	return intRangeBitsFrom(dom, p, bm, 0, swar)
 }
 
 // intRangeBitsFrom is intRangeBits restricted to rows [row0, n), row0
@@ -205,10 +224,10 @@ func intRangeBits(dom *domainEntry, p Predicate, bm []uint64) {
 // observed bounds; a grown domain only widens the clamp, and the underlying
 // integer interval is unchanged, so recomputed boundary-word rows keep their
 // bits.
-func intRangeBitsFrom(dom *domainEntry, p Predicate, bm []uint64, row0 int) {
+func intRangeBitsFrom(dom *domainEntry, p Predicate, bm []uint64, row0 int, swar bool) bool {
 	lo, hi, empty := intRangeBounds(p)
 	if empty {
-		return
+		return false
 	}
 	// Clamp to the observed domain so code arithmetic cannot underflow; an
 	// interval that misses the domain entirely selects nothing.
@@ -219,17 +238,26 @@ func intRangeBitsFrom(dom *domainEntry, p Predicate, bm []uint64, row0 int) {
 		hi = dom.mx
 	}
 	if lo > hi {
-		return
+		return false
 	}
 	w0 := row0 >> 6
 	vbits := dom.vbits[w0:]
 	sub := bm[w0:]
 	switch {
 	case dom.ncodes8 != nil:
+		if swar {
+			swarRangeBits8(dom.ncodes8[row0:], vbits, uint8(lo-dom.base), uint8(hi-dom.base), sub)
+			return true
+		}
 		rangeCodeBits(dom.ncodes8[row0:], vbits, uint8(lo-dom.base), uint8(hi-dom.base), sub)
 	case dom.ncodes16 != nil:
+		if swar {
+			swarRangeBits16(dom.ncodes16[row0:], vbits, uint16(lo-dom.base), uint16(hi-dom.base), sub)
+			return true
+		}
 		rangeCodeBits(dom.ncodes16[row0:], vbits, uint16(lo-dom.base), uint16(hi-dom.base), sub)
 	default:
 		rangeInt64Bits(dom.ivals[row0:], vbits, lo, hi, sub)
 	}
+	return false
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/agg"
 	"repro/internal/dataframe"
 	"repro/internal/par"
 )
@@ -88,6 +89,13 @@ type Executor struct {
 	// core, so flipping it on one executor degrades (never corrupts) its
 	// core-sharing siblings; it is a test/bench knob, not a production mode.
 	DisableDeltaMaintenance bool
+	// DisableCompactStrings forces the word-parallel (SWAR) code kernels and
+	// the count-only fast path off: predicate bitmaps fall back to the PR 8
+	// scalar per-code loops and COUNT queries re-run their value pass. It does
+	// not change storage — compact tables stay compact; both kernel families
+	// read the same code arrays — so the knob gives a clean like-for-like A/B.
+	// Results are bit-identical either way (the differential tests sweep it).
+	DisableCompactStrings bool
 
 	// epoch is the scan-table epoch this executor's PRIVATE caches (plans,
 	// joins, aggregate state) cover; the shared core tracks its own. Guarded
@@ -135,6 +143,14 @@ type ExecutorStats struct {
 	// of the row-at-a-time comparison loops.
 	DictEncodes, DictHits int64
 	CodePredScans         int64
+	// Word-parallel kernels (PR 10, see swar.go): SwarPredScans counts
+	// predicate bitmaps built 8×uint8 / 4×uint16 codes per 64-bit word (a
+	// subset of CodePredScans — wide columns and DisableCompactStrings fall
+	// back to the scalar code loops), and CountOnlyQueries counts per-query
+	// COUNT aggregates served straight from the plan's popcount-derived group
+	// counts with no value pass at all.
+	SwarPredScans    int64
+	CountOnlyQueries int64
 	// Cross-executor scan sharing (ScanScheduler): full-table passes this
 	// executor ran to build a shared-core entry (group index, predicate
 	// bitmap, float view, domain probe) vs lookups that subscribed to an entry
@@ -184,6 +200,8 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 	s.DictEncodes += o.DictEncodes
 	s.DictHits += o.DictHits
 	s.CodePredScans += o.CodePredScans
+	s.SwarPredScans += o.SwarPredScans
+	s.CountOnlyQueries += o.CountOnlyQueries
 	s.SharedScanPasses += o.SharedScanPasses
 	s.SharedScanSubscribers += o.SharedScanSubscribers
 	s.MorselsScanned += o.MorselsScanned
@@ -198,13 +216,13 @@ func (s ExecutorStats) Add(o ExecutorStats) ExecutorStats {
 // String renders the snapshot as one compact log line.
 func (s ExecutorStats) String() string {
 	return fmt.Sprintf(
-		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries, scatter %d queries over %d passes, dict %d encodes / %d hits (%d code preds), shared-scans %d passes / %d subscribed, %d morsels, delta %d appends / %d rows (%d resorts, %d rebuilds), %d evictions",
+		"groups %d/%d masks %d/%d preds %d/%d plans %d/%d joins %d/%d shared-joins %d/%d (hit/miss), fused %d queries over %d scans (%d counting), core %d queries (%d count-only), scatter %d queries over %d passes, dict %d encodes / %d hits (%d code preds, %d swar), shared-scans %d passes / %d subscribed, %d morsels, delta %d appends / %d rows (%d resorts, %d rebuilds), %d evictions",
 		s.GroupHits, s.GroupMisses, s.MaskHits, s.MaskMisses, s.PredHits, s.PredMisses,
 		s.PlanHits, s.PlanMisses, s.JoinHits, s.JoinMisses,
 		s.SharedJoinHits, s.SharedJoinMisses,
-		s.FusedQueries, s.FusedScans, s.CountingScans, s.CoreQueries,
+		s.FusedQueries, s.FusedScans, s.CountingScans, s.CoreQueries, s.CountOnlyQueries,
 		s.ScatterQueries, s.ScatterPasses,
-		s.DictEncodes, s.DictHits, s.CodePredScans,
+		s.DictEncodes, s.DictHits, s.CodePredScans, s.SwarPredScans,
 		s.SharedScanPasses, s.SharedScanSubscribers, s.MorselsScanned,
 		s.DeltaAppends, s.DeltaRowsScanned, s.DirtyGroupResorts, s.FullRebuilds,
 		s.Evictions+s.SharedJoinEvictions)
@@ -606,15 +624,18 @@ func (e *Executor) buildPredBitsFrom(p Predicate, lo int, bm []uint64) error {
 				if enc := e.dictFor(col); enc != nil {
 					e.noteCodePred()
 					if code, ok := enc.CodeOf(p.StrValue); ok {
-						dictEqBitsFrom(enc, code, bm, lo)
+						if dictEqBitsFrom(enc, code, bm, lo, !e.DisableCompactStrings) {
+							e.noteSwarPred()
+						}
 					}
 					// Operand not in the dictionary: no row matches.
 					return nil
 				}
 			}
-			strs := col.StrData()
+			// col.Str decodes per row, so this fallback also serves compact
+			// columns (whose StrData is nil) when encoding kernels are off.
 			for i := lo; i < n; i++ {
-				if valid[i] && strs[i] == p.StrValue {
+				if valid[i] && col.Str(i) == p.StrValue {
 					set(i)
 				}
 			}
@@ -636,7 +657,9 @@ func (e *Executor) buildPredBitsFrom(p Predicate, lo int, bm []uint64) error {
 			(k == dataframe.KindInt || k == dataframe.KindTime) {
 			if dom := e.domain(col); dom.intOK {
 				e.noteCodePred()
-				intRangeBitsFrom(dom, p, bm, lo)
+				if intRangeBitsFrom(dom, p, bm, lo, !e.DisableCompactStrings) {
+					e.noteSwarPred()
+				}
 				return nil
 			}
 		}
@@ -992,6 +1015,18 @@ func (e *Executor) executeCore(q Query) (execResult, error) {
 	allNull := useString && !q.Agg.SupportsStrings()
 	vals := make([]float64, ngroups)
 	valid := make([]bool, ngroups)
+	if !allNull && ngroups > 0 && q.Agg == agg.Count && !e.DisableCompactStrings {
+		// COUNT depends only on the plan's popcount-derived per-group row
+		// counts — serve it with no value pass at all, exactly as the fused
+		// batch path does (the differential tests pin fused ≡ core).
+		for li, n := range pe.counts {
+			vals[li], valid[li] = float64(n), true
+		}
+		e.mu.Lock()
+		e.stats.CountOnlyQueries++
+		e.mu.Unlock()
+		return execResult{gi: pe.gi, repr: pe.repr, vals: vals, valid: valid}, nil
+	}
 	if !allNull && ngroups > 0 {
 		sc := corePool.Get().(*coreScratch)
 		local, rowGID := pe.local, pe.gi.RowGroups()
@@ -1014,12 +1049,22 @@ func (e *Executor) executeCore(q Query) (execResult, error) {
 		var fbuf []float64
 		if useString {
 			sbuf = make([]string, offs[ngroups])
-			strs := aggCol.StrData()
-			for _, i := range pe.rows {
-				if colValid[i] {
-					li := local[rowGID[i]] - 1
-					sbuf[fill[li]] = strs[i]
-					fill[li]++
+			if strs := aggCol.StrData(); strs != nil {
+				for _, i := range pe.rows {
+					if colValid[i] {
+						li := local[rowGID[i]] - 1
+						sbuf[fill[li]] = strs[i]
+						fill[li]++
+					}
+				}
+			} else {
+				// Compact column: decode per row through the dictionary.
+				for _, i := range pe.rows {
+					if colValid[i] {
+						li := local[rowGID[i]] - 1
+						sbuf[fill[li]] = aggCol.Str(i)
+						fill[li]++
+					}
 				}
 			}
 		} else {

@@ -467,11 +467,22 @@ func (as *attrScan) scan(ctx context.Context, e *Executor, pe *planEntry, ngroup
 				return err
 			}
 			e.noteMorsel()
-			for _, i := range pe.rows[sg[0]:sg[1]] {
-				if valid[i] {
-					li := local[rowGID[i]] - 1
-					sbuf[fill[li]] = strs[i]
-					fill[li]++
+			if strs != nil {
+				for _, i := range pe.rows[sg[0]:sg[1]] {
+					if valid[i] {
+						li := local[rowGID[i]] - 1
+						sbuf[fill[li]] = strs[i]
+						fill[li]++
+					}
+				}
+			} else {
+				// Compact column (nil StrData): decode per row via the dict.
+				for _, i := range pe.rows[sg[0]:sg[1]] {
+					if valid[i] {
+						li := local[rowGID[i]] - 1
+						sbuf[fill[li]] = as.col.Str(i)
+						fill[li]++
+					}
 				}
 			}
 		}

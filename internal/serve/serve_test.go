@@ -196,6 +196,43 @@ func TestServeDifferentialCoalesced(t *testing.T) {
 	}
 }
 
+// TestServeStatsTableBytes checks the /v1/stats residency gauge: TableBytes
+// reports the bound relevant table's resident estimate, and compacting the
+// table's string columns (code-backed storage, PR 10) shows up as a drop on
+// the very next snapshot — the gauge reads live table state, not a cached
+// figure from bind time.
+func TestServeStatsTableBytes(t *testing.T) {
+	rel := testRelevant(t, 2000, 50, 3)
+	srv := NewServer(Config{})
+	if err := srv.AddPlan("p", testPlanJSON(t, 1), PlanBinding{Relevant: rel}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rel.MemBytes()
+	before := srv.Stats().Plans[0].TableBytes
+	if before != want || before <= 0 {
+		t.Fatalf("TableBytes = %d, want %d (> 0)", before, want)
+	}
+	if n := rel.Compact(); n == 0 {
+		t.Fatal("relevant table did not compact")
+	}
+	after := srv.Stats().Plans[0].TableBytes
+	if after >= before {
+		t.Errorf("TableBytes after Compact = %d, want < %d", after, before)
+	}
+	// The compacted table still serves: transform a batch and confirm the
+	// endpoint-side JSON carries the gauge.
+	if _, _, err := srv.Transform(context.Background(), "p", keyTable(t, []int64{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(srv.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"table_bytes":`)) {
+		t.Errorf("stats JSON missing table_bytes: %s", data)
+	}
+}
+
 // TestServeSoloMatchesCoalescedOff checks the window<0 escape hatch: every
 // request runs its own pass and responses never report coalesced.
 func TestServeSoloMatchesCoalescedOff(t *testing.T) {

@@ -46,6 +46,11 @@ type PlanStats struct {
 	Appends      int64  `json:"appends"`
 	AppendedRows int64  `json:"appended_rows"`
 	TableEpoch   uint64 `json:"table_epoch"`
+	// TableBytes is the estimated resident footprint of the bound relevant
+	// table(s) — summed across sources for multi-source plans. Compact
+	// string columns (code-backed, PR 10) show up here as the drop from
+	// ~16+len(s) bytes per cell to one narrow code per cell.
+	TableBytes int64 `json:"table_bytes"`
 	// Executor is the current transformer's engine-side counter snapshot
 	// (for multi-table plans, merged across the per-source executors).
 	Executor query.ExecutorStats `json:"executor"`
@@ -59,8 +64,14 @@ type Stats struct {
 func (h *planHandle) snapshot() PlanStats {
 	st := h.state.Load()
 	var tableEpoch uint64
+	var tableBytes int64
 	if h.binding.Relevant != nil {
 		tableEpoch = h.binding.Relevant.Epoch()
+		tableBytes, _ = h.binding.Relevant.MemBytes()
+	}
+	for _, t := range h.binding.Sources {
+		b, _ := t.MemBytes()
+		tableBytes += b
 	}
 	return PlanStats{
 		Plan:             h.name,
@@ -75,6 +86,7 @@ func (h *planHandle) snapshot() PlanStats {
 		Appends:          h.counters.appends.Load(),
 		AppendedRows:     h.counters.appendedRows.Load(),
 		TableEpoch:       tableEpoch,
+		TableBytes:       tableBytes,
 		Executor:         st.tr.Stats(),
 	}
 }
